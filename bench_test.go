@@ -1,0 +1,235 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per evaluation display
+// item (Figure 1 and experiments E1–E20; see DESIGN.md §3). Each bench
+// regenerates its table from scratch per iteration and reports the
+// experiment's headline numbers as custom metrics, so
+//
+//	go test -bench . -benchmem
+//
+// reproduces the entire evaluation. cmd/shbench prints the same tables in
+// human-readable form.
+
+import (
+	"testing"
+)
+
+// runExperiment executes one registered experiment b.N times and reports
+// selected metrics.
+func runExperiment(b *testing.B, id string, report map[string]string) {
+	b.Helper()
+	run, ok := LookupExperiment(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var res *ExperimentResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = run(DefaultMachine())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for metric, unit := range report {
+		if v, ok := res.Metrics[metric]; ok {
+			b.ReportMetric(v, unit)
+		} else {
+			b.Fatalf("experiment %s did not produce metric %q", id, metric)
+		}
+	}
+}
+
+// BenchmarkF1Spectrum regenerates Figure 1: CPU efficiency by hiding
+// mechanism across event durations of 4 ns to 10 µs.
+func BenchmarkF1Spectrum(b *testing.B) {
+	runExperiment(b, "F1", map[string]string{
+		"d100ns_coro": "eff@100ns/coro",
+		"d100ns_smt8": "eff@100ns/smt8",
+		"d100ns_none": "eff@100ns/none",
+	})
+}
+
+// BenchmarkE1SwitchCost regenerates the §2 switch-cost comparison.
+func BenchmarkE1SwitchCost(b *testing.B) {
+	runExperiment(b, "E1", map[string]string{
+		"coro_full_ns": "ns/full-switch",
+		"coro_live_ns": "ns/live-switch",
+	})
+}
+
+// BenchmarkE2StallFraction regenerates the §1 memory-bound stall table.
+func BenchmarkE2StallFraction(b *testing.B) {
+	runExperiment(b, "E2", map[string]string{
+		"chase_stall_frac":    "stallfrac/chase",
+		"hashjoin_stall_frac": "stallfrac/join",
+	})
+}
+
+// BenchmarkE3SMTvsCoro regenerates the SMT-vs-coroutine concurrency sweep.
+func BenchmarkE3SMTvsCoro(b *testing.B) {
+	runExperiment(b, "E3", map[string]string{
+		"smt8":   "eff/smt8",
+		"coro32": "eff/coro32",
+	})
+}
+
+// BenchmarkE4PipelineThroughput regenerates the end-to-end throughput
+// table across all workloads.
+func BenchmarkE4PipelineThroughput(b *testing.B) {
+	runExperiment(b, "E4", map[string]string{
+		"chase_pgo_speedup":    "speedup/chase",
+		"hashjoin_pgo_speedup": "speedup/join",
+		"bst_pgo_speedup":      "speedup/bst",
+	})
+}
+
+// BenchmarkE5ThresholdSweep regenerates the §3.2 threshold trade-off.
+func BenchmarkE5ThresholdSweep(b *testing.B) {
+	runExperiment(b, "E5", map[string]string{"best_theta": "theta"})
+}
+
+// BenchmarkE6Ablations regenerates the live-mask and coalescing ablations.
+func BenchmarkE6Ablations(b *testing.B) {
+	runExperiment(b, "E6", map[string]string{
+		"ctrue_ltrue_eff":   "eff/both",
+		"cfalse_lfalse_eff": "eff/neither",
+	})
+}
+
+// BenchmarkE7DualMode regenerates the §3.3 asymmetric-concurrency table.
+func BenchmarkE7DualMode(b *testing.B) {
+	runExperiment(b, "E7", map[string]string{
+		"dual_eff":     "eff/dual",
+		"dual_latency": "cycles/dual-latency",
+		"sym_latency":  "cycles/sym-latency",
+	})
+}
+
+// BenchmarkE8ScavengerScaling regenerates the scavenger-chaining table.
+func BenchmarkE8ScavengerScaling(b *testing.B) {
+	runExperiment(b, "E8", map[string]string{
+		"chase_chains_per_episode": "chains/episode",
+	})
+}
+
+// BenchmarkE9IntervalSweep regenerates the inter-yield-interval sweep.
+func BenchmarkE9IntervalSweep(b *testing.B) {
+	runExperiment(b, "E9", map[string]string{
+		"interval_300_overshoot":  "cycles/overshoot@100ns",
+		"interval_3000_overshoot": "cycles/overshoot@1µs",
+	})
+}
+
+// BenchmarkE10SamplingPeriod regenerates the sampling-fidelity sweep.
+func BenchmarkE10SamplingPeriod(b *testing.B) {
+	runExperiment(b, "E10", map[string]string{
+		"scale_1_mae":   "mae/dense",
+		"scale_256_mae": "mae/sparse",
+	})
+}
+
+// BenchmarkE11HWAssist regenerates the §4.1 hardware-assist comparison.
+func BenchmarkE11HWAssist(b *testing.B) {
+	runExperiment(b, "E11", map[string]string{
+		"hw_skips": "skips",
+		"hw_eff":   "eff/hw",
+	})
+}
+
+// BenchmarkE12SFI regenerates the §4.2 SFI co-design table.
+func BenchmarkE12SFI(b *testing.B) {
+	runExperiment(b, "E12", map[string]string{
+		"sfi_overhead":    "overhead/sfi",
+		"codesign_folded": "guards-folded",
+	})
+}
+
+// BenchmarkE13InlineAccuracy regenerates the §3.2 inline-accuracy
+// comparison.
+func BenchmarkE13InlineAccuracy(b *testing.B) {
+	runExperiment(b, "E13", map[string]string{
+		"bin_eff": "eff/binary-level",
+		"src_eff": "eff/source-level",
+	})
+}
+
+// BenchmarkE14SchedulerIntegration regenerates the §4.2 scheduler table.
+func BenchmarkE14SchedulerIntegration(b *testing.B) {
+	runExperiment(b, "E14", map[string]string{
+		"sidecar_mean":  "cycles/sidecar-mean",
+		"agnostic_mean": "cycles/agnostic-mean",
+	})
+}
+
+// BenchmarkE15ProfilePortability regenerates the stale-profile table.
+func BenchmarkE15ProfilePortability(b *testing.B) {
+	runExperiment(b, "E15", map[string]string{
+		"fresh_eff": "eff/fresh",
+		"stale_eff": "eff/stale",
+	})
+}
+
+// BenchmarkE16Accelerator regenerates the onboard-accelerator table.
+func BenchmarkE16Accelerator(b *testing.B) {
+	runExperiment(b, "E16", map[string]string{
+		"lat450_speedup": "speedup@150ns",
+		"lat450_pgo_eff": "eff@150ns",
+	})
+}
+
+// BenchmarkE17PrefetcherInteraction regenerates the substrate ablation.
+func BenchmarkE17PrefetcherInteraction(b *testing.B) {
+	runExperiment(b, "E17", map[string]string{
+		"scan_hwtrue_base_eff": "eff/scan-hw",
+		"chase_hwtrue_pgo_eff": "eff/chase-pgo",
+	})
+}
+
+// BenchmarkE18WindowWidth regenerates the concurrency-scaling sweep.
+func BenchmarkE18WindowWidth(b *testing.B) {
+	runExperiment(b, "E18", map[string]string{
+		"w1_eff":  "eff/w1",
+		"w16_eff": "eff/w16",
+	})
+}
+
+// BenchmarkE19SamplingPrecision regenerates the PEBS-precision table.
+func BenchmarkE19SamplingPrecision(b *testing.B) {
+	runExperiment(b, "E19", map[string]string{
+		"precise_eff": "eff/precise",
+		"skid_eff":    "eff/skid",
+	})
+}
+
+// BenchmarkE20SwitchCost regenerates the §4.1 switch-cost sensitivity.
+func BenchmarkE20SwitchCost(b *testing.B) {
+	runExperiment(b, "E20", map[string]string{
+		"cost24_eff": "eff/8ns-switch",
+		"cost4_eff":  "eff/1.7ns-switch",
+	})
+}
+
+// BenchmarkCoreSimulator measures raw simulator throughput (retired
+// instructions per second) on the pointer chase, as a harness sanity
+// metric.
+func BenchmarkCoreSimulator(b *testing.B) {
+	h, err := NewHarness(DefaultMachine(), PointerChase{Nodes: 4096, Hops: 2000, Instances: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := h.Baseline()
+	b.ResetTimer()
+	var retired uint64
+	for i := 0; i < b.N; i++ {
+		ts, err := h.Tasks(img, "chase", Primary, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := h.NewExecutor(img, ExecConfig{}).RunSolo(ts.Tasks[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired = st.Retired
+	}
+	b.ReportMetric(float64(retired), "instrs/run")
+}

@@ -1,0 +1,108 @@
+// Command shasm assembles virtual-ISA assembly into a binary image, or
+// disassembles an image back to source. It rounds out the binary
+// toolchain: programs written by hand can be profiled (shprof works on
+// named workloads, shrun on images), instrumented (shinstr) and executed.
+//
+// Usage:
+//
+//	shasm -o prog.img prog.s           # assemble
+//	shasm -d prog.img                  # disassemble to stdout
+//	shasm -stats prog.img              # opcode histogram + analysis summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bincfg"
+	"repro/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "output image path (assembly mode)")
+	disasm := flag.Bool("d", false, "disassemble an image to stdout")
+	statsMode := flag.Bool("stats", false, "print opcode and CFG statistics for an image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: shasm [-d|-stats|-o out.img] file")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *out, *disasm, *statsMode); err != nil {
+		fmt.Fprintln(os.Stderr, "shasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, out string, disasm, statsMode bool) error {
+	if disasm || statsMode {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		img, err := isa.LoadImage(f)
+		if err != nil {
+			return err
+		}
+		prog, err := isa.Decode(img)
+		if err != nil {
+			return err
+		}
+		if disasm {
+			fmt.Print(isa.Disassemble(prog))
+			return nil
+		}
+		return printStats(prog)
+	}
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = path + ".img"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := isa.SaveImage(f, isa.Encode(prog)); err != nil {
+		return err
+	}
+	fmt.Printf("assembled %d instructions, %d symbols -> %s\n",
+		len(prog.Instrs), len(prog.Symbols), out)
+	return nil
+}
+
+func printStats(prog *isa.Program) error {
+	counts := map[string]int{}
+	for _, in := range prog.Instrs {
+		counts[in.Op.String()]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%d instructions\n", len(prog.Instrs))
+	for _, n := range names {
+		fmt.Printf("  %-10s %d\n", n, counts[n])
+	}
+	g, err := bincfg.Build(prog)
+	if err != nil {
+		return err
+	}
+	dom := bincfg.ComputeDominators(g)
+	loops := bincfg.NaturalLoops(g, dom)
+	fmt.Printf("%d basic blocks, %d roots, %d natural loops\n",
+		len(g.Blocks), len(g.Roots()), len(loops))
+	fmt.Printf("%d candidate loads\n", len(bincfg.LoadsIn(prog)))
+	return nil
+}

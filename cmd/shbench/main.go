@@ -1,0 +1,125 @@
+// Command shbench regenerates the evaluation: Figure 1 and experiments
+// E1–E13 (see DESIGN.md §3 for the per-experiment index and EXPERIMENTS.md
+// for paper-vs-measured discussion).
+//
+// Usage:
+//
+//	shbench                  # run everything
+//	shbench -exp F1,E7       # selected experiments
+//	shbench -list            # enumerate experiment IDs
+//	shbench -metrics         # also dump flat metrics (machine-readable)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	metrics := flag.Bool("metrics", false, "dump flat metrics after each table")
+	seed := flag.Int64("seed", 0, "override the scenario seed (0 keeps the default)")
+	format := flag.String("format", "text", "text | md (markdown tables for reports)")
+	seeds := flag.Int("seeds", 1, "repeat each experiment across N seeds and summarize metric stability")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+	if err := run(*expFlag, *metrics, *seed, *format, *seeds); err != nil {
+		fmt.Fprintln(os.Stderr, "shbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expFlag string, metrics bool, seed int64, format string, seeds int) error {
+	mach := core.DefaultMachine()
+	if seed != 0 {
+		mach.Seed = seed
+	}
+
+	var ids []string
+	if expFlag == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(expFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	fmt.Printf("softhide evaluation — %d experiment(s), seed %d\n", len(ids), mach.Seed)
+	fmt.Printf("machine: L1 %dKiB / L2 %dKiB / L3 %dKiB, latencies %d/%d/%d/%d cycles, switch %d cycles\n\n",
+		mach.Mem.L1Size>>10, mach.Mem.L2Size>>10, mach.Mem.L3Size>>10,
+		mach.Mem.LatL1, mach.Mem.LatL2, mach.Mem.LatL3, mach.Mem.LatDRAM,
+		mach.Switch.FullCost())
+
+	for _, id := range ids {
+		runner, ok := experiments.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		start := time.Now()
+		res, err := runner(mach)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if format == "md" {
+			fmt.Print(res.Markdown())
+		} else {
+			fmt.Print(res.String())
+		}
+		if metrics {
+			fmt.Print(res.MetricsString())
+		}
+		if seeds > 1 {
+			if err := seedStability(runner, mach, res, seeds); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// seedStability reruns the experiment under additional seeds and reports
+// the spread of each metric, exposing any seed-overfit conclusions.
+func seedStability(runner experiments.Runner, mach core.Machine, first *experiments.Result, seeds int) error {
+	samples := map[string][]float64{}
+	for k, v := range first.Metrics {
+		samples[k] = []float64{v}
+	}
+	for i := 1; i < seeds; i++ {
+		m := mach
+		m.Seed = mach.Seed + int64(i)*7919
+		res, err := runner(m)
+		if err != nil {
+			return err
+		}
+		for k, v := range res.Metrics {
+			samples[k] = append(samples[k], v)
+		}
+	}
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("metric stability over %d seeds (mean ± stddev):\n", seeds)
+	for _, k := range keys {
+		s := stats.Summarize(samples[k])
+		fmt.Printf("  %-28s %12.4f ± %.4f\n", k, s.Mean, s.Stddev)
+	}
+	return nil
+}

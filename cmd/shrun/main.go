@@ -1,0 +1,150 @@
+// Command shrun executes a workload scenario — baseline or an
+// instrumented image produced by shinstr — under one of the runtime
+// disciplines and reports cycle-level statistics. Every coroutine's
+// result is validated against the host-reference value, so a bad rewrite
+// fails loudly instead of producing plausible numbers.
+//
+// Usage:
+//
+//	shrun -workload hashjoin -mode symmetric -n 8
+//	shrun -workload hashjoin -image hashjoin.instrumented.img -mode dual -scavengers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func main() {
+	fs := flag.NewFlagSet("shrun", flag.ExitOnError)
+	var wf cli.WorkloadFlags
+	wf.Register(fs)
+	imagePath := fs.String("image", "", "instrumented image from shinstr (default: uninstrumented baseline)")
+	mode := fs.String("mode", "solo", "solo | symmetric | dual")
+	n := fs.Int("n", 1, "coroutines to run (solo/symmetric)")
+	scavengers := fs.Int("scavengers", 3, "scavenger coroutines (dual mode; instance 0 is the primary)")
+	hwAssist := fs.Bool("hwassist", false, "enable the §4.1 cache-presence probe at primary yields")
+	traceN := fs.Int("trace", 0, "retain and dump the last N scheduling events")
+	fs.Parse(os.Args[1:])
+
+	if err := run(&wf, *imagePath, *mode, *n, *scavengers, *hwAssist, *traceN); err != nil {
+		fmt.Fprintln(os.Stderr, "shrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wf *cli.WorkloadFlags, imagePath, mode string, n, scavengers int, hwAssist bool, traceN int) error {
+	h, part, err := wf.Harness()
+	if err != nil {
+		return err
+	}
+	img := h.Baseline()
+	if imagePath != "" {
+		f, err := os.Open(imagePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fileImg, err := isa.LoadImage(f)
+		if err != nil {
+			return err
+		}
+		prog, err := isa.Decode(fileImg)
+		if err != nil {
+			return err
+		}
+		// Entry points travel in the symbol table ("<part>.main").
+		entries := map[string]int{}
+		for name, idx := range prog.Symbols {
+			if strings.HasSuffix(name, ".main") {
+				entries[strings.TrimSuffix(name, ".main")] = idx
+			}
+		}
+		if _, ok := entries[part]; !ok {
+			return fmt.Errorf("image has no entry symbol %s.main", part)
+		}
+		img = &core.Image{Prog: prog, Entries: entries}
+	}
+
+	cfg := exec.Config{HWAssist: hwAssist, HWAssistProbeCost: 2}
+	var ring *trace.Ring
+	if traceN > 0 {
+		ring = trace.NewRing(traceN)
+		cfg.Tracer = ring
+	}
+	ex := h.NewExecutor(img, cfg)
+
+	var st exec.Stats
+	switch mode {
+	case "solo":
+		ts, err := h.Tasks(img, part, coro.Primary, 1)
+		if err != nil {
+			return err
+		}
+		if st, err = ex.RunSolo(ts.Tasks[0]); err != nil {
+			return err
+		}
+		if err := ts.Validate(); err != nil {
+			return err
+		}
+	case "symmetric":
+		ts, err := h.Tasks(img, part, coro.Primary, n)
+		if err != nil {
+			return err
+		}
+		if st, err = ex.RunSymmetric(ts.Tasks); err != nil {
+			return err
+		}
+		if err := ts.Validate(); err != nil {
+			return err
+		}
+	case "dual":
+		if scavengers+1 > wf.Instances {
+			return fmt.Errorf("dual mode needs %d instances (1 primary + %d scavengers); pass -instances", scavengers+1, scavengers)
+		}
+		ts, err := h.Tasks(img, part, coro.Primary, scavengers+1)
+		if err != nil {
+			return err
+		}
+		primary := ts.Tasks[0]
+		scavs := ts.Tasks[1:]
+		for _, s := range scavs {
+			s.Mode = coro.Scavenger
+		}
+		if st, err = ex.RunDualMode(primary, scavs); err != nil {
+			return err
+		}
+		if err := ts.Validate(); err != nil {
+			return err
+		}
+		fmt.Printf("primary latency: %d cycles (%.0f ns), %d hide episodes, %d scavenger chains\n",
+			st.PrimaryLatency, core.NS(float64(st.PrimaryLatency)), st.Episodes, st.ChainSwitches)
+		if hwAssist {
+			fmt.Printf("presence probe skipped %d yields\n", st.HWSkips)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	fmt.Printf("%s/%s: %d cycles (%.0f ns simulated)\n", wf.Workload, mode, st.Cycles, core.NS(float64(st.Cycles)))
+	fmt.Printf("  efficiency: %.1f%% busy, %.1f%% stalled, %d switches (%d cycles)\n",
+		st.Efficiency()*100, st.StallFraction()*100, st.Switches, st.Switch)
+	fmt.Printf("  retired:    %d instructions, IPC %.2f\n", st.Retired, st.IPC())
+	fmt.Printf("  results validated against host reference: ok\n")
+	if ring != nil {
+		fmt.Printf("\ntrace: %s\n", ring.Summary())
+		if err := ring.Dump(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

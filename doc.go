@@ -1,0 +1,33 @@
+// Package repro is softhide: a complete implementation and evaluation of
+// "Out of Hand for Hardware? Within Reach for Software!" (Luo, Fu, Amaro,
+// Ousterhout, Ratnasamy, Shenker — HotOS 2023), which proposes hiding
+// 10–100 ns CPU-stall events (L2/L3 cache misses) in software by combining
+// light-weight coroutines with sample-based profiling.
+//
+// The system is built on a deterministic cycle-level machine simulator
+// (virtual ISA, three-level cache hierarchy with in-flight fill tracking,
+// in-order core with PEBS/LBR-style sampling hooks), because the paper's
+// mechanism needs hardware facilities — performance counters, binary
+// rewriting, nanosecond-scale context switches — that a pure-Go process
+// cannot touch directly. Every quantity the paper reasons about (switch
+// cost, miss latency, stall cycles, sampling noise) is a first-class
+// simulated quantity.
+//
+// The pipeline follows the paper's three steps:
+//
+//	h, _ := repro.NewHarness(repro.DefaultMachine(),
+//	    repro.PointerChase{Nodes: 8192, Hops: 3000, Instances: 8})
+//	prof, _, _ := h.Profile("chase")                          // §3.2 step (i)
+//	img, _ := h.Instrument(prof, repro.DefaultPipelineOptions()) // step (ii)
+//	ts, _ := h.Tasks(img, "chase", repro.Primary, 8)
+//	stats, _ := h.NewExecutor(img, repro.ExecConfig{}).RunSymmetric(ts.Tasks) // step (iii)
+//
+// Dual-mode asymmetric concurrency (§3.3) runs one latency-sensitive
+// primary against scavenger coroutines:
+//
+//	st, _ := h.NewExecutor(img, repro.ExecConfig{}).RunDualMode(primary, scavengers)
+//
+// The package-level bench harness (go test -bench .) and cmd/shbench
+// regenerate every table and figure of the evaluation; see DESIGN.md and
+// EXPERIMENTS.md.
+package repro

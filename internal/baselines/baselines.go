@@ -1,0 +1,64 @@
+// Package baselines implements the comparison points the paper argues
+// against:
+//
+//   - No interleaving: run the original binary and eat every stall.
+//   - OS-thread switching: software interleaving priced at process/kernel
+//     thread context-switch cost (hundreds of ns to µs [14, 38]) — shows
+//     why traditional threads cannot hide 10–100 ns events.
+//   - Manual annotation (CoroBase-style [23, 28, 53]): a developer marks
+//     the loads they *believe* miss and the toolchain inserts
+//     prefetch+yield there, with full register saves (hand-written code
+//     gets no liveness optimization) and no scavenger phase (hand-placed
+//     yields are too sparse for latency control — the §2 critique).
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/coro"
+	"repro/internal/instrument"
+	"repro/internal/isa"
+)
+
+// OSThreadSwitchCycles is the modelled kernel-thread context switch cost:
+// 4500 cycles = 1.5 µs at 3 GHz, mid-range of the paper's citations.
+const OSThreadSwitchCycles = 4500
+
+// OSThreadCostModel prices switches at kernel-thread cost. The register
+// component is irrelevant at this magnitude.
+func OSThreadCostModel() coro.CostModel {
+	return coro.CostModel{Base: OSThreadSwitchCycles, PerReg: 0}
+}
+
+// AnnotateLoads inserts a PREFETCH+YIELD pair before each of the given
+// load instructions, mimicking a developer hand-annotating their code.
+// Yields save the full register file and no scavenger yields are placed.
+func AnnotateLoads(prog *isa.Program, loadPCs []int) (*isa.Program, []int, error) {
+	rw := instrument.NewRewriter(prog)
+	for _, pc := range loadPCs {
+		if pc < 0 || pc >= len(prog.Instrs) {
+			return nil, nil, fmt.Errorf("baselines: annotation PC %d out of range", pc)
+		}
+		in := prog.Instrs[pc]
+		if in.Op != isa.OpLoad {
+			return nil, nil, fmt.Errorf("baselines: annotation PC %d is %v, not a load", pc, in)
+		}
+		rw.InsertBefore(pc,
+			isa.Instr{Op: isa.OpPrefetch, Rs1: in.Rs1, Imm: in.Imm},
+			isa.Instr{Op: isa.OpYield, Imm: int64(isa.AllRegs)},
+		)
+	}
+	return rw.Apply()
+}
+
+// AnnotateAllLoads marks every load in the program — the exhaustive
+// hand-annotation strategy (also the upper bound on annotation effort).
+func AnnotateAllLoads(prog *isa.Program) (*isa.Program, []int, error) {
+	var pcs []int
+	for i, in := range prog.Instrs {
+		if in.Op == isa.OpLoad {
+			pcs = append(pcs, i)
+		}
+	}
+	return AnnotateLoads(prog, pcs)
+}

@@ -1,0 +1,84 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/coro"
+	"repro/internal/isa"
+)
+
+func TestOSThreadCostModel(t *testing.T) {
+	m := OSThreadCostModel()
+	lightweight := coro.DefaultCostModel()
+	if m.FullCost() < 100*lightweight.FullCost() {
+		t.Errorf("OS-thread switch (%d) should be orders of magnitude above coroutine switch (%d)",
+			m.FullCost(), lightweight.FullCost())
+	}
+}
+
+func TestAnnotateLoads(t *testing.T) {
+	prog := isa.MustAssemble(`
+        movi r2, 64
+    loop:
+        load r1, [r2]        ; 1
+        load r3, [r2+8]      ; 2
+        addi r2, r2, 16
+        cmpi r2, 256
+        jlt loop
+        halt
+    `)
+	out, oldToNew, err := AnnotateLoads(prog, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Instrs) != len(prog.Instrs)+2 {
+		t.Fatalf("expected 2 insertions, got %d instructions", len(out.Instrs))
+	}
+	ld := oldToNew[1]
+	if out.Instrs[ld].Op != isa.OpLoad ||
+		out.Instrs[ld-1].Op != isa.OpYield ||
+		out.Instrs[ld-2].Op != isa.OpPrefetch {
+		t.Error("annotation layout wrong")
+	}
+	if out.Instrs[ld-1].LiveMask() != isa.AllRegs {
+		t.Error("manual annotation must use full register saves")
+	}
+	// The loop branch re-enters at the prefetch.
+	for _, in := range out.Instrs {
+		if in.Op == isa.OpJlt && in.Target() != oldToNew[1]-2 {
+			t.Errorf("branch target %d, want %d", in.Target(), oldToNew[1]-2)
+		}
+	}
+}
+
+func TestAnnotateAllLoads(t *testing.T) {
+	prog := isa.MustAssemble(`
+        movi r2, 64
+        load r1, [r2]
+        load r3, [r2+8]
+        halt
+    `)
+	out, _, err := AnnotateAllLoads(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var yields int
+	for _, in := range out.Instrs {
+		if in.Op == isa.OpYield {
+			yields++
+		}
+	}
+	if yields != 2 {
+		t.Errorf("yields = %d, want 2", yields)
+	}
+}
+
+func TestAnnotateRejectsBadPCs(t *testing.T) {
+	prog := isa.MustAssemble("movi r1, 1\nhalt")
+	if _, _, err := AnnotateLoads(prog, []int{0}); err == nil {
+		t.Error("annotating a non-load should fail")
+	}
+	if _, _, err := AnnotateLoads(prog, []int{99}); err == nil {
+		t.Error("annotating out of range should fail")
+	}
+}

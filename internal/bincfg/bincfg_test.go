@@ -1,0 +1,521 @@
+package bincfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestStraightLine(t *testing.T) {
+	g := MustBuild(isa.MustAssemble(`
+        movi r1, 1
+        addi r1, r1, 2
+        halt
+    `))
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	b := g.Blocks[0]
+	if b.Start != 0 || b.End != 3 || len(b.Succs) != 0 {
+		t.Errorf("block: %+v", b)
+	}
+	if g.BlockOf(2) != b {
+		t.Error("BlockOf wrong")
+	}
+}
+
+const diamondSrc = `
+        movi r1, 0
+        cmpi r1, 5
+        jlt left
+        addi r1, r1, 1      ; right
+        jmp join
+    left:
+        addi r1, r1, 2
+    join:
+        halt
+`
+
+func TestDiamond(t *testing.T) {
+	g := MustBuild(isa.MustAssemble(diamondSrc))
+	// Blocks: [0,3) entry, [3,5) right, [5,6) left, [6,7) join.
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4: %v", len(g.Blocks), g.Blocks)
+	}
+	entry, right, left, join := g.Blocks[0], g.Blocks[1], g.Blocks[2], g.Blocks[3]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %v", entry.Succs)
+	}
+	has := func(list []int, id int) bool {
+		for _, x := range list {
+			if x == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(entry.Succs, right.ID) || !has(entry.Succs, left.ID) {
+		t.Error("entry should branch to both arms")
+	}
+	if !has(right.Succs, join.ID) || !has(left.Succs, join.ID) {
+		t.Error("arms should reach join")
+	}
+	if !has(join.Preds, right.ID) || !has(join.Preds, left.ID) {
+		t.Error("join preds wrong")
+	}
+
+	d := ComputeDominators(g)
+	for _, b := range g.Blocks {
+		if !d.Dominates(entry.ID, b.ID) {
+			t.Errorf("entry should dominate B%d", b.ID)
+		}
+	}
+	if d.Idom(join.ID) != entry.ID {
+		t.Errorf("idom(join) = %d, want entry %d", d.Idom(join.ID), entry.ID)
+	}
+	if d.Dominates(left.ID, join.ID) || d.Dominates(right.ID, join.ID) {
+		t.Error("neither arm dominates the join")
+	}
+	if loops := NaturalLoops(g, d); len(loops) != 0 {
+		t.Errorf("diamond has no loops, got %v", loops)
+	}
+}
+
+const loopSrc = `
+        movi r2, 10
+        movi r1, 0
+    loop:
+        addi r1, r1, 1
+        addi r2, r2, -1
+        cmpi r2, 0
+        jgt loop
+        halt
+`
+
+func TestNaturalLoop(t *testing.T) {
+	g := MustBuild(isa.MustAssemble(loopSrc))
+	d := ComputeDominators(g)
+	loops := NaturalLoops(g, d)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	header := g.BlockOf(2).ID
+	if l.Header != header {
+		t.Errorf("header = %d, want %d", l.Header, header)
+	}
+	if len(l.Body) != 1 || !l.Body[header] {
+		t.Errorf("body = %v, want only the header block", l.Blocks())
+	}
+	if len(l.BackEdges) != 1 || l.BackEdges[0] != [2]int{header, header} {
+		t.Errorf("back edges = %v", l.BackEdges)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := MustBuild(isa.MustAssemble(`
+        movi r2, 3
+    outer:
+        movi r3, 4
+    inner:
+        addi r1, r1, 1
+        addi r3, r3, -1
+        cmpi r3, 0
+        jgt inner
+        addi r2, r2, -1
+        cmpi r2, 0
+        jgt outer
+        halt
+    `))
+	d := ComputeDominators(g)
+	loops := NaturalLoops(g, d)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	inner, outer := loops[1], loops[0]
+	if len(inner.Body) >= len(outer.Body) {
+		inner, outer = outer, inner
+	}
+	if len(inner.Body) != 1 {
+		t.Errorf("inner body = %v", inner.Blocks())
+	}
+	// The outer loop body must contain the inner loop's header.
+	if !outer.Body[inner.Header] {
+		t.Errorf("outer body %v should contain inner header %d", outer.Blocks(), inner.Header)
+	}
+}
+
+const callSrc = `
+    main:
+        movi r1, 5
+        call fn
+        halt
+    fn:
+        addi r1, r1, 1
+        ret
+`
+
+func TestFunctionsAreSeparateRoots(t *testing.T) {
+	g := MustBuild(isa.MustAssemble(callSrc))
+	roots := g.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v, want 2 (main and fn)", roots)
+	}
+	// The block after the call is reached by fall-through.
+	callBlock := g.BlockOf(1)
+	if len(callBlock.Succs) != 1 {
+		t.Fatalf("call block succs = %v", callBlock.Succs)
+	}
+	retBlock := g.BlockOf(4)
+	if len(retBlock.Succs) != 0 {
+		t.Error("ret block should have no successors")
+	}
+	d := ComputeDominators(g)
+	if d.Idom(g.BlockOf(3).ID) != -1 {
+		t.Error("fn entry should be a root (idom = virtual)")
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	g := MustBuild(isa.MustAssemble(diamondSrc))
+	rpo := g.ReversePostorder()
+	if len(rpo) != len(g.Blocks) {
+		t.Fatalf("rpo covers %d of %d blocks", len(rpo), len(g.Blocks))
+	}
+	pos := make(map[int]int)
+	for i, id := range rpo {
+		pos[id] = i
+	}
+	// Entry before arms, arms before join.
+	if pos[0] > pos[1] || pos[0] > pos[2] || pos[1] > pos[3] || pos[2] > pos[3] {
+		t.Errorf("rpo order wrong: %v", rpo)
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	prog := isa.MustAssemble(`
+        movi r1, 1      ; 0
+        movi r2, 2      ; 1
+        add  r3, r1, r2 ; 2
+        mov  r1, r3     ; 3: r2 dead after 2
+        halt            ; 4: uses r1
+    `)
+	g := MustBuild(prog)
+	l := ComputeLiveness(g)
+	// Before instruction 3, r3 is live (used) and r2 is dead.
+	in3 := l.LiveIn(3)
+	if !in3.Has(3) {
+		t.Error("r3 should be live before instr 3")
+	}
+	if in3.Has(2) {
+		t.Error("r2 should be dead before instr 3")
+	}
+	if !in3.Has(isa.SP) {
+		t.Error("SP must always be live")
+	}
+	// After instruction 3, only r1 (for halt) and SP.
+	out3 := l.LiveOut(3)
+	if !out3.Has(1) {
+		t.Errorf("LiveOut(3) = %v, r1 should be live for halt", out3)
+	}
+	if out3.Has(2) || out3.Has(3) {
+		t.Errorf("LiveOut(3) = %v, r2/r3 should be dead", out3)
+	}
+}
+
+func TestLivenessAcrossBranches(t *testing.T) {
+	prog := isa.MustAssemble(`
+        movi r1, 0      ; 0
+        movi r4, 9      ; 1: r4 used only on the left arm
+        cmpi r1, 5      ; 2
+        jlt left        ; 3
+        addi r1, r1, 1  ; 4 right arm
+        jmp join        ; 5
+    left:
+        add r1, r1, r4  ; 6
+    join:
+        halt            ; 7
+    `)
+	g := MustBuild(prog)
+	l := ComputeLiveness(g)
+	// r4 is live before the branch (needed on one path).
+	if !l.LiveIn(3).Has(4) {
+		t.Error("r4 should be live before the branch")
+	}
+	// r4 is dead on the right arm.
+	if l.LiveIn(4).Has(4) {
+		t.Error("r4 should be dead on the right arm")
+	}
+	// r4 is live at the left arm entry.
+	if !l.LiveIn(6).Has(4) {
+		t.Error("r4 should be live at the left arm")
+	}
+	// At join, only r1/SP.
+	if l.LiveIn(7).Has(4) {
+		t.Error("r4 should be dead at join")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	g := MustBuild(isa.MustAssemble(loopSrc))
+	l := ComputeLiveness(g)
+	// r2 (loop counter) is live at the loop header across iterations.
+	if !l.LiveIn(2).Has(2) {
+		t.Error("loop counter should be live at header")
+	}
+	// r1 is live too: accumulated across iterations and used by halt.
+	if !l.LiveIn(2).Has(1) {
+		t.Error("accumulator should be live at header")
+	}
+}
+
+func TestLivenessCallClobbers(t *testing.T) {
+	prog := isa.MustAssemble(`
+        movi r8, 42     ; 0: r8 cannot survive the call (caller-saved)
+        call fn         ; 1
+        add r1, r1, r8  ; 2: uses r8 -> live-in of 2 has r8
+        halt
+    fn:
+        movi r1, 1
+        ret
+    `)
+	g := MustBuild(prog)
+	l := ComputeLiveness(g)
+	// Before the call, r8 is NOT live: the call defines (clobbers) it, so
+	// the use at 2 is reached by the call's def, not instruction 0.
+	if l.LiveIn(1).Has(8) {
+		t.Error("r8 should be killed by the call clobber set")
+	}
+	// The call's arguments are live before it.
+	if !l.LiveIn(1).Has(1) && !l.LiveIn(1).Has(isa.SP) {
+		t.Error("call uses should be live")
+	}
+	if !l.LiveIn(2).Has(8) {
+		t.Error("r8 used at 2 should be live there")
+	}
+}
+
+func TestBlockLiveInOut(t *testing.T) {
+	g := MustBuild(isa.MustAssemble(loopSrc))
+	l := ComputeLiveness(g)
+	header := g.BlockOf(2).ID
+	if !l.BlockLiveIn(header).Has(2) || !l.BlockLiveOut(header).Has(isa.SP) {
+		t.Error("block-level masks wrong")
+	}
+}
+
+// Property: the liveness fixpoint satisfies its defining equations, and
+// LiveIn(i) always contains Uses(i), on random structured programs.
+func TestLivenessEquationsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		prog := randomProgram(rng, 5+rng.Intn(60))
+		g := MustBuild(prog)
+		l := ComputeLiveness(g)
+		for _, b := range g.Blocks {
+			var out isa.RegMask
+			for _, s := range b.Succs {
+				out |= l.liveIn[s]
+			}
+			if out != l.liveOut[b.ID] {
+				t.Fatalf("trial %d: liveOut[B%d] inconsistent", trial, b.ID)
+			}
+			if l.transferBlock(b, out) != l.liveIn[b.ID] {
+				t.Fatalf("trial %d: liveIn[B%d] inconsistent", trial, b.ID)
+			}
+		}
+		for i := range prog.Instrs {
+			if uses := prog.Instrs[i].Uses(); l.LiveIn(i)&uses != uses {
+				t.Fatalf("trial %d: LiveIn(%d) misses uses of %v", trial, i, prog.Instrs[i])
+			}
+		}
+	}
+}
+
+// randomProgram emits a structured random program: straight-line ALU/load
+// bodies with random forward/backward branches, ending in halt.
+func randomProgram(rng *rand.Rand, n int) *isa.Program {
+	p := &isa.Program{}
+	for i := 0; i < n; i++ {
+		r := func() isa.Reg { return isa.Reg(rng.Intn(14)) } // avoid r14/r15 for clarity
+		switch rng.Intn(8) {
+		case 0:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpMovI, Rd: r(), Imm: int64(rng.Intn(100))})
+		case 1:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpAdd, Rd: r(), Rs1: r(), Rs2: r()})
+		case 2:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpLoad, Rd: r(), Rs1: r(), Imm: 8})
+		case 3:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpStore, Rs1: r(), Rs2: r(), Imm: 8})
+		case 4:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpCmpI, Rs1: r(), Imm: 3})
+		case 5:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpJeq, Imm: int64(rng.Intn(n))})
+		case 6:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpYield, Imm: int64(isa.AllRegs)})
+		case 7:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpPrefetch, Rs1: r(), Imm: 0})
+		}
+	}
+	p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpHalt})
+	return p
+}
+
+func TestIndependentLoadRun(t *testing.T) {
+	prog := isa.MustAssemble(`
+        movi r2, 4096
+        load r3, [r2]       ; 1: independent of 2,3
+        load r4, [r2+8]     ; 2
+        load r5, [r2+16]    ; 3
+        load r6, [r3]       ; 4: depends on load 1's result... but r3 defined before run?
+        halt
+    `)
+	g := MustBuild(prog)
+	// From 1: loads 1,2,3 use r2 (not defined in run); load 4 uses r3,
+	// which load 1 defines -> run stops at 3 loads... but load 4 is
+	// adjacent: the run from 1 is {1,2,3} because 4's address reg r3 is in
+	// the defined set.
+	if k := IndependentLoadRun(g, 1); k != 3 {
+		t.Errorf("run(1) = %d, want 3", k)
+	}
+	// From 4: single load.
+	if k := IndependentLoadRun(g, 4); k != 1 {
+		t.Errorf("run(4) = %d, want 1", k)
+	}
+	// Non-load index.
+	if k := IndependentLoadRun(g, 0); k != 0 {
+		t.Errorf("run(0) = %d, want 0", k)
+	}
+}
+
+func TestIndependentLoadRunStopsAtBlockEnd(t *testing.T) {
+	prog := isa.MustAssemble(`
+        movi r2, 4096
+    target:
+        load r3, [r2]
+        load r4, [r2+8]
+        jmp target
+    `)
+	g := MustBuild(prog)
+	if k := IndependentLoadRun(g, 1); k != 2 {
+		t.Errorf("run = %d, want 2 (stops before jmp)", k)
+	}
+}
+
+func TestIndependentLoadRunPointerChase(t *testing.T) {
+	prog := isa.MustAssemble(`
+        load r1, [r1]
+        load r1, [r1]
+        halt
+    `)
+	g := MustBuild(prog)
+	// Second load's address depends on the first: run is 1.
+	if k := IndependentLoadRun(g, 0); k != 1 {
+		t.Errorf("pointer chase run = %d, want 1", k)
+	}
+}
+
+func TestLoadsIn(t *testing.T) {
+	prog := isa.MustAssemble(`
+        movi r2, 64
+        load r1, [r2]
+        store [r2], r1
+        load r3, [r2+8]
+        halt
+    `)
+	loads := LoadsIn(prog)
+	if len(loads) != 2 || loads[0] != 1 || loads[1] != 3 {
+		t.Errorf("LoadsIn = %v", loads)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	g, err := Build(&isa.Program{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 0 {
+		t.Error("empty program should have no blocks")
+	}
+	d := ComputeDominators(g)
+	if loops := NaturalLoops(g, d); len(loops) != 0 {
+		t.Error("no loops expected")
+	}
+}
+
+// bruteForceDominates computes dominance by definition: a dominates b iff
+// removing a disconnects b from every root that reaches it.
+func bruteForceDominates(g *CFG, a, b int) bool {
+	if a == b {
+		return true
+	}
+	reachable := func(skip int) []bool {
+		seen := make([]bool, len(g.Blocks))
+		var stack []int
+		for _, r := range g.Roots() {
+			if r != skip {
+				stack = append(stack, r)
+				seen[r] = true
+			}
+		}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range g.Blocks[x].Succs {
+				if s != skip && !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		return seen
+	}
+	withA := reachable(-1)
+	if !withA[b] {
+		return false // unreachable nodes are dominated by nothing reachable
+	}
+	withoutA := reachable(a)
+	return !withoutA[b]
+}
+
+// TestDominatorsAgainstBruteForce cross-checks the iterative dominator
+// algorithm against the definition on random structured programs.
+func TestDominatorsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		prog := randomProgram(rng, 5+rng.Intn(40))
+		g := MustBuild(prog)
+		d := ComputeDominators(g)
+		reach := make([]bool, len(g.Blocks))
+		{
+			var stack []int
+			for _, r := range g.Roots() {
+				stack = append(stack, r)
+				reach[r] = true
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, s := range g.Blocks[x].Succs {
+					if !reach[s] {
+						reach[s] = true
+						stack = append(stack, s)
+					}
+				}
+			}
+		}
+		for a := range g.Blocks {
+			for b := range g.Blocks {
+				if !reach[a] || !reach[b] {
+					continue
+				}
+				want := bruteForceDominates(g, a, b)
+				got := d.Dominates(a, b)
+				if got != want {
+					t.Fatalf("trial %d: Dominates(%d,%d) = %v, brute force says %v", trial, a, b, got, want)
+				}
+			}
+		}
+	}
+}

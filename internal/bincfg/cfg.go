@@ -1,0 +1,175 @@
+// Package bincfg performs binary-level program analysis on decoded images:
+// control-flow graph construction, dominators, natural-loop detection,
+// backward register-liveness dataflow and load-dependence analysis.
+//
+// These are the classic prerequisites the paper lists for its
+// instrumentation pipeline (§3.2: "disassembly and control flow graph
+// construction ... similar to existing binary optimizers", register
+// liveness analysis [45,52] and dependence analysis [4,43]).
+//
+// The CFG is intraprocedural in the usual binary-optimizer sense: CALL is
+// treated as an opaque instruction that falls through (its clobber set is
+// captured by isa.Instr.Defs), call targets start blocks of their own, and
+// RET/HALT end blocks with no successors. Function bodies therefore form
+// disconnected subgraphs, each rooted at a block with no predecessors.
+package bincfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Block is a maximal straight-line run of instructions.
+type Block struct {
+	ID    int
+	Start int // first instruction index
+	End   int // one past the last instruction index
+	Succs []int
+	Preds []int
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return b.End - b.Start }
+
+func (b *Block) String() string {
+	return fmt.Sprintf("B%d[%d,%d)", b.ID, b.Start, b.End)
+}
+
+// CFG is the control-flow graph of a program.
+type CFG struct {
+	Prog    *isa.Program
+	Blocks  []*Block
+	blockOf []int // instruction index -> block ID
+}
+
+// Build constructs the CFG. The program must validate.
+func Build(prog *isa.Program) (*CFG, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(prog.Instrs)
+	if n == 0 {
+		return &CFG{Prog: prog}, nil
+	}
+
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, in := range prog.Instrs {
+		switch {
+		case in.Op.IsBranch(): // jumps and calls
+			leader[in.Target()] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case in.Op == isa.OpRet || in.Op == isa.OpHalt:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	g := &CFG{Prog: prog, blockOf: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			b := &Block{ID: len(g.Blocks), Start: start, End: i}
+			g.Blocks = append(g.Blocks, b)
+			for j := start; j < i; j++ {
+				g.blockOf[j] = b.ID
+			}
+			start = i
+		}
+	}
+
+	addEdge := func(from, to int) {
+		fb, tb := g.Blocks[from], g.Blocks[to]
+		for _, s := range fb.Succs {
+			if s == to {
+				return
+			}
+		}
+		fb.Succs = append(fb.Succs, to)
+		tb.Preds = append(tb.Preds, from)
+	}
+	for _, b := range g.Blocks {
+		last := prog.Instrs[b.End-1]
+		switch {
+		case last.Op == isa.OpJmp:
+			addEdge(b.ID, g.blockOf[last.Target()])
+		case last.Op.IsConditional():
+			addEdge(b.ID, g.blockOf[last.Target()])
+			if b.End < n {
+				addEdge(b.ID, g.blockOf[b.End])
+			}
+		case last.Op == isa.OpRet || last.Op == isa.OpHalt:
+			// no successors
+		default:
+			// Fall-through (includes CALL: the callee returns here).
+			if b.End < n {
+				addEdge(b.ID, g.blockOf[b.End])
+			}
+		}
+	}
+	return g, nil
+}
+
+// MustBuild panics on invalid programs.
+func MustBuild(prog *isa.Program) *CFG {
+	g, err := Build(prog)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BlockOf returns the block containing instruction index i.
+func (g *CFG) BlockOf(i int) *Block { return g.Blocks[g.blockOf[i]] }
+
+// Roots returns the IDs of blocks with no predecessors: the program entry
+// plus every function entered only via CALL.
+func (g *CFG) Roots() []int {
+	var roots []int
+	for _, b := range g.Blocks {
+		if len(b.Preds) == 0 {
+			roots = append(roots, b.ID)
+		}
+	}
+	return roots
+}
+
+// ReversePostorder returns block IDs in reverse postorder of a DFS from
+// all roots — the canonical iteration order for forward dataflow.
+func (g *CFG) ReversePostorder() []int {
+	visited := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(id int) {
+		visited[id] = true
+		succs := append([]int(nil), g.Blocks[id].Succs...)
+		sort.Ints(succs)
+		for _, s := range succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	for _, r := range g.Roots() {
+		if !visited[r] {
+			dfs(r)
+		}
+	}
+	// Unreachable blocks (e.g. dead code) go last, in ID order.
+	for id := range g.Blocks {
+		if !visited[id] {
+			post = append([]int{id}, post...)
+		}
+	}
+	rpo := make([]int, len(post))
+	for i, id := range post {
+		rpo[len(post)-1-i] = id
+	}
+	return rpo
+}

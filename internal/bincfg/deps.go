@@ -1,0 +1,51 @@
+package bincfg
+
+import "repro/internal/isa"
+
+// IndependentLoadRun returns the length k of the maximal run of
+// consecutive LOAD instructions starting at instruction index i such that
+// all k loads are mutually independent: no load in the run computes the
+// address register of a later load in the run, there are no intervening
+// non-load instructions, and the run stays inside one basic block.
+//
+// Independence is what licenses the paper's yield-coalescing optimization
+// (§3.2): the k prefetch addresses are all computable before the first
+// load, so k prefetches can be hoisted and a single yield amortizes the
+// switch across all k potential misses.
+//
+// Returns at least 1 when instruction i is a LOAD, 0 otherwise.
+func IndependentLoadRun(g *CFG, i int) int {
+	prog := g.Prog
+	if i < 0 || i >= len(prog.Instrs) || prog.Instrs[i].Op != isa.OpLoad {
+		return 0
+	}
+	b := g.BlockOf(i)
+	var defined isa.RegMask
+	k := 0
+	for j := i; j < b.End; j++ {
+		in := prog.Instrs[j]
+		if in.Op != isa.OpLoad {
+			break
+		}
+		// Address register must not have been produced by an earlier load
+		// in the run (true register dependence).
+		if defined.Has(in.Rs1) {
+			break
+		}
+		defined = defined.With(in.Rd)
+		k++
+	}
+	return k
+}
+
+// LoadsIn returns the instruction indices of all LOADs in the program, in
+// ascending order. The instrumenter iterates these as candidate sites.
+func LoadsIn(prog *isa.Program) []int {
+	var out []int
+	for i, in := range prog.Instrs {
+		if in.Op == isa.OpLoad {
+			out = append(out, i)
+		}
+	}
+	return out
+}

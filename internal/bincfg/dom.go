@@ -1,0 +1,173 @@
+package bincfg
+
+import "sort"
+
+// Dominators holds the immediate-dominator tree computed over the CFG with
+// a virtual super-root that precedes every real root, so multi-function
+// binaries analyze in one pass.
+type Dominators struct {
+	g *CFG
+	// idom[b] is the immediate dominator of block b, or -1 for roots
+	// (their idom is the virtual super-root).
+	idom []int
+}
+
+// ComputeDominators runs the classic iterative dominator algorithm
+// (Cooper-Harvey-Kennedy) in reverse postorder.
+func ComputeDominators(g *CFG) *Dominators {
+	n := len(g.Blocks)
+	d := &Dominators{g: g, idom: make([]int, n)}
+	if n == 0 {
+		return d
+	}
+	const virtualRoot = -1
+	for i := range d.idom {
+		d.idom[i] = -2 // undefined
+	}
+	rpo := g.ReversePostorder()
+	rpoIndex := make([]int, n)
+	for i, b := range rpo {
+		rpoIndex[b] = i
+	}
+	isRoot := make([]bool, n)
+	for _, r := range g.Roots() {
+		isRoot[r] = true
+		d.idom[r] = virtualRoot
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			if a == virtualRoot || b == virtualRoot {
+				return virtualRoot
+			}
+			for rpoIndex[a] > rpoIndex[b] {
+				a = d.idom[a]
+				if a == virtualRoot {
+					return virtualRoot
+				}
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = d.idom[b]
+				if b == virtualRoot {
+					return virtualRoot
+				}
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if isRoot[b] {
+				continue
+			}
+			newIdom := -2
+			for _, p := range g.Blocks[b].Preds {
+				if d.idom[p] == -2 {
+					continue // predecessor not yet processed
+				}
+				if newIdom == -2 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom == -2 {
+				continue // unreachable
+			}
+			if d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Idom returns the immediate dominator of block b, or -1 if b is a root
+// (or unreachable).
+func (d *Dominators) Idom(b int) int {
+	if d.idom[b] == -2 {
+		return -1
+	}
+	return d.idom[b]
+}
+
+// Dominates reports whether block a dominates block b.
+func (d *Dominators) Dominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		if d.idom[b] == -2 {
+			return false
+		}
+		b = d.idom[b]
+	}
+	return false
+}
+
+// Loop is a natural loop: a header block and the set of blocks in its
+// body (header included).
+type Loop struct {
+	Header int
+	Body   map[int]bool
+	// BackEdges lists the (source -> header) edges that define the loop.
+	BackEdges [][2]int
+}
+
+// Blocks returns the body block IDs in ascending order.
+func (l *Loop) Blocks() []int {
+	ids := make([]int, 0, len(l.Body))
+	for id := range l.Body {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// NaturalLoops finds all natural loops, merging loops that share a header.
+func NaturalLoops(g *CFG, d *Dominators) []Loop {
+	byHeader := map[int]*Loop{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if d.Dominates(s, b.ID) {
+				// b -> s is a back edge with header s.
+				l, ok := byHeader[s]
+				if !ok {
+					l = &Loop{Header: s, Body: map[int]bool{s: true}}
+					byHeader[s] = l
+				}
+				l.BackEdges = append(l.BackEdges, [2]int{b.ID, s})
+				// Body = s plus all blocks reaching b without passing s.
+				var stack []int
+				if !l.Body[b.ID] {
+					l.Body[b.ID] = true
+					stack = append(stack, b.ID)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range g.Blocks[x].Preds {
+						if !l.Body[p] {
+							l.Body[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	headers := make([]int, 0, len(byHeader))
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	loops := make([]Loop, 0, len(headers))
+	for _, h := range headers {
+		loops = append(loops, *byHeader[h])
+	}
+	return loops
+}

@@ -1,0 +1,87 @@
+package bincfg
+
+import "repro/internal/isa"
+
+// Liveness is the fixpoint of backward register-liveness dataflow over the
+// CFG. The ISA calling convention (see isa.Reg) makes the analysis sound
+// intraprocedurally: CALL clobbers all caller-saved registers and RET/HALT
+// use the convention's result registers.
+//
+// The stack pointer is treated as live everywhere: the runtime always
+// preserves it, and the instrumenter's live masks must include it.
+type Liveness struct {
+	g *CFG
+	// liveIn/liveOut per block.
+	liveIn  []isa.RegMask
+	liveOut []isa.RegMask
+}
+
+// ComputeLiveness runs the dataflow to fixpoint.
+func ComputeLiveness(g *CFG) *Liveness {
+	n := len(g.Blocks)
+	l := &Liveness{
+		g:       g,
+		liveIn:  make([]isa.RegMask, n),
+		liveOut: make([]isa.RegMask, n),
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Backward problems converge fastest in postorder; iterating block
+		// IDs in reverse is close enough for these small programs.
+		for id := n - 1; id >= 0; id-- {
+			b := g.Blocks[id]
+			var out isa.RegMask
+			for _, s := range b.Succs {
+				out |= l.liveIn[s]
+			}
+			in := l.transferBlock(b, out)
+			if out != l.liveOut[id] || in != l.liveIn[id] {
+				l.liveOut[id] = out
+				l.liveIn[id] = in
+				changed = true
+			}
+		}
+	}
+	return l
+}
+
+// transferBlock applies the backward transfer function across a block.
+func (l *Liveness) transferBlock(b *Block, out isa.RegMask) isa.RegMask {
+	live := out
+	for i := b.End - 1; i >= b.Start; i-- {
+		in := l.g.Prog.Instrs[i]
+		live = (live &^ in.Defs()) | in.Uses()
+	}
+	return live
+}
+
+// LiveIn returns the registers live on entry to instruction i: the set
+// that must survive if a yield is inserted immediately before i. SP is
+// always included.
+func (l *Liveness) LiveIn(i int) isa.RegMask {
+	b := l.g.BlockOf(i)
+	live := l.liveOut[b.ID]
+	for j := b.End - 1; j >= i; j-- {
+		in := l.g.Prog.Instrs[j]
+		live = (live &^ in.Defs()) | in.Uses()
+	}
+	return live.With(isa.SP)
+}
+
+// LiveOut returns the registers live immediately after instruction i
+// executes: the set an existing yield *at* i must preserve. SP is always
+// included.
+func (l *Liveness) LiveOut(i int) isa.RegMask {
+	b := l.g.BlockOf(i)
+	if i == b.End-1 {
+		return l.liveOut[b.ID].With(isa.SP)
+	}
+	return l.LiveIn(i + 1)
+}
+
+// BlockLiveIn returns the live-in mask of a block.
+func (l *Liveness) BlockLiveIn(id int) isa.RegMask { return l.liveIn[id].With(isa.SP) }
+
+// BlockLiveOut returns the live-out mask of a block.
+func (l *Liveness) BlockLiveOut(id int) isa.RegMask { return l.liveOut[id].With(isa.SP) }

@@ -1,0 +1,108 @@
+// Package cli holds the flag plumbing shared by the shprof / shinstr /
+// shrun / shbench tools: workload selection by name and machine options.
+// The tools rebuild scenarios deterministically from (workload, instances,
+// seed), so a profile collected by shprof applies to the binary shinstr
+// rewrites and shrun executes.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// specFactory builds a workload spec with the requested instance count.
+type specFactory func(instances int) workloads.Spec
+
+var specs = map[string]specFactory{
+	"chase": func(n int) workloads.Spec {
+		return workloads.PointerChase{Nodes: 8192, Hops: 3000, Instances: n}
+	},
+	"hashjoin": func(n int) workloads.Spec {
+		return workloads.HashJoin{BuildRows: 8192, Buckets: 4096, Probes: 400, MatchFraction: 0.7, Instances: n}
+	},
+	"bst": func(n int) workloads.Spec {
+		return workloads.BST{Keys: 8192, Lookups: 300, Instances: n}
+	},
+	"btree": func(n int) workloads.Spec {
+		return workloads.BTree{Keys: 8192, Lookups: 300, Instances: n}
+	},
+	"skiplist": func(n int) workloads.Spec {
+		return workloads.SkipList{Keys: 8192, Lookups: 300, Instances: n}
+	},
+	"binsearch": func(n int) workloads.Spec {
+		return workloads.BinarySearch{N: 65536, Lookups: 300, Instances: n}
+	},
+	"scatter": func(n int) workloads.Spec {
+		return workloads.Scatter{Slots: 8192, Updates: 3000, Instances: n}
+	},
+	"scan": func(n int) workloads.Spec {
+		return workloads.ArrayScan{N: 65536, Instances: n}
+	},
+	"multichase": func(n int) workloads.Spec {
+		return workloads.MultiChase{Nodes: 4096, Hops: 1000, Instances: n}
+	},
+	"mixedchase": func(n int) workloads.Spec {
+		return workloads.MixedChase{ColdNodes: 8192, HotNodes: 16, Hops: 1500, Instances: n}
+	},
+	"accelstream": func(n int) workloads.Spec {
+		return workloads.AccelStream{Blocks: 2000, Pad: 8, Instances: n}
+	},
+	"compute": func(n int) workloads.Spec {
+		return workloads.Compute{Iters: 200000, Instances: n}
+	},
+}
+
+// Names lists the selectable workloads.
+func Names() []string {
+	var names []string
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SpecByName resolves a workload name.
+func SpecByName(name string, instances int) (workloads.Spec, error) {
+	f, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (have %v)", name, Names())
+	}
+	if instances < 1 {
+		return nil, fmt.Errorf("instances must be ≥ 1")
+	}
+	return f(instances), nil
+}
+
+// WorkloadFlags is the common workload/machine flag set.
+type WorkloadFlags struct {
+	Workload  string
+	Instances int
+	Seed      int64
+}
+
+// Register installs the common flags into fs.
+func (w *WorkloadFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&w.Workload, "workload", "chase", fmt.Sprintf("workload name %v", Names()))
+	fs.IntVar(&w.Instances, "instances", 8, "independent workload instances (coroutines)")
+	fs.Int64Var(&w.Seed, "seed", 20230626, "deterministic scenario seed")
+}
+
+// Harness builds the scenario described by the flags.
+func (w *WorkloadFlags) Harness() (*core.Harness, string, error) {
+	spec, err := SpecByName(w.Workload, w.Instances)
+	if err != nil {
+		return nil, "", err
+	}
+	mach := core.DefaultMachine()
+	mach.Seed = w.Seed
+	h, err := core.NewHarness(mach, spec)
+	if err != nil {
+		return nil, "", err
+	}
+	return h, spec.Name(), nil
+}

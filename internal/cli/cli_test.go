@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := SpecByName(name, 2)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if spec.Name() == "" {
+			t.Errorf("%s: empty spec name", name)
+		}
+	}
+	if _, err := SpecByName("bogus", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := SpecByName("chase", 0); err == nil {
+		t.Error("zero instances accepted")
+	}
+}
+
+func TestWorkloadFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var wf WorkloadFlags
+	wf.Register(fs)
+	if err := fs.Parse([]string{"-workload", "bst", "-instances", "3", "-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+	h, part, err := wf.Harness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part != "bst" {
+		t.Errorf("part = %s", part)
+	}
+	if len(h.Sc.Part("bst").Instances) != 3 {
+		t.Error("instance count not honored")
+	}
+	if h.Mach.Seed != 42 {
+		t.Error("seed not honored")
+	}
+}
+
+func TestHarnessRejectsBadWorkload(t *testing.T) {
+	wf := WorkloadFlags{Workload: "nope", Instances: 1}
+	if _, _, err := wf.Harness(); err == nil {
+		t.Error("bad workload accepted")
+	}
+}
+
+func TestEveryNamedWorkloadBuildsAndValidates(t *testing.T) {
+	// Each registry entry must compose successfully at small scale.
+	for _, name := range Names() {
+		wf := WorkloadFlags{Workload: name, Instances: 1, Seed: 7}
+		h, part, err := wf.Harness()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if h.Sc.Part(part) == nil {
+			t.Errorf("%s: part missing", name)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/coro"
+	"repro/internal/exec"
+	"repro/internal/instrument"
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+func testHarness(t *testing.T) *Harness {
+	t.Helper()
+	h, err := NewHarness(DefaultMachine(),
+		workloads.PointerChase{Nodes: 2048, Hops: 600, Instances: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	h := testHarness(t)
+
+	prof, sampler, err := h.Profile("chase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sampler.Samples) == 0 || len(prof.Sites) == 0 {
+		t.Fatal("profiling produced nothing")
+	}
+
+	img, err := h.Instrument(prof, instrument.DefaultPipelineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Pipe == nil || img.Pipe.Primary.Yields == 0 {
+		t.Fatal("instrumentation inserted nothing")
+	}
+	if len(img.Prog.Instrs) <= len(h.Sc.Prog.Instrs) {
+		t.Fatal("instrumented program should be longer")
+	}
+
+	ts, err := h.Tasks(img, "chase", coro.Primary, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := h.NewExecutor(img, exec.Config{}).RunSymmetric(ts.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compare against baseline: interleaving must help.
+	bts, err := h.Tasks(h.Baseline(), "chase", coro.Primary, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst, err := h.NewExecutor(h.Baseline(), exec.Config{}).RunSymmetric(bts.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Efficiency() <= bst.Efficiency() {
+		t.Errorf("pipeline efficiency %.3f did not beat baseline %.3f",
+			st.Efficiency(), bst.Efficiency())
+	}
+}
+
+func TestTasksCountSemantics(t *testing.T) {
+	h := testHarness(t)
+	base := h.Baseline()
+	ts, err := h.Tasks(base, "chase", coro.Primary, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Tasks) != 4 {
+		t.Errorf("count 0 should mean all instances, got %d", len(ts.Tasks))
+	}
+	ts, err = h.Tasks(base, "chase", coro.Scavenger, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Tasks) != 2 || ts.Tasks[0].Mode != coro.Scavenger {
+		t.Error("count/mode semantics wrong")
+	}
+	if _, err := h.Tasks(base, "nope", coro.Primary, 1); err == nil {
+		t.Error("unknown part accepted")
+	}
+}
+
+func TestValidateCatchesWrongResults(t *testing.T) {
+	h := testHarness(t)
+	ts, err := h.Tasks(h.Baseline(), "chase", coro.Primary, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Tasks[0].Ctx.Halted = true
+	ts.Tasks[0].Ctx.Result = 12345678 // not the reference value
+	if err := ts.Validate(); err == nil {
+		t.Error("Validate accepted a wrong result")
+	}
+}
+
+func TestMergeRenumbers(t *testing.T) {
+	h := testHarness(t)
+	a, _ := h.Tasks(h.Baseline(), "chase", coro.Primary, 2)
+	b, _ := h.Tasks(h.Baseline(), "chase", coro.Scavenger, 2)
+	a.Merge(b)
+	if len(a.Tasks) != 4 {
+		t.Fatalf("merged size %d", len(a.Tasks))
+	}
+	for i, task := range a.Tasks {
+		if task.Ctx.ID != i {
+			t.Errorf("task %d has ID %d", i, task.Ctx.ID)
+		}
+	}
+}
+
+func TestFromRewriteRemapsEntries(t *testing.T) {
+	h := testHarness(t)
+	// Identity rewrite with one insertion before the entry.
+	rw := instrument.NewRewriter(h.Sc.Prog)
+	rw.InsertBefore(h.Sc.Parts[0].Entry, isa.Instr{Op: isa.OpNop})
+	prog, oldToNew, err := rw.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := h.FromRewrite(prog, oldToNew)
+	if img.Entries["chase"] != h.Sc.Parts[0].Entry+1 {
+		t.Errorf("entry not remapped: %d", img.Entries["chase"])
+	}
+}
+
+func TestProfilePartsValidates(t *testing.T) {
+	h := testHarness(t)
+	if _, _, _, err := h.ProfileParts(h.Mach.Sampling, "nope"); err == nil {
+		t.Error("unknown part accepted")
+	}
+	prof, sampler, cpuCore, err := h.ProfileParts(h.Mach.Sampling, "chase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil || sampler == nil || cpuCore == nil {
+		t.Fatal("nil outputs")
+	}
+	if cpuCore.Counters.TotalRetired == 0 {
+		t.Error("profiling run retired nothing")
+	}
+}
+
+func TestDefaultMachine(t *testing.T) {
+	m := DefaultMachine()
+	if err := m.Mem.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := m.CPU.Validate(); err != nil {
+		t.Error(err)
+	}
+	if NS(3000) != 1000 {
+		t.Error("NS conversion wrong")
+	}
+}

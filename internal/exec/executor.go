@@ -1,0 +1,203 @@
+// Package exec is the runtime half of the paper's proposal: it interleaves
+// instrumented coroutines on the simulated core.
+//
+// Three execution disciplines are provided:
+//
+//   - Solo: one coroutine, yields are no-ops (the uninstrumented baseline,
+//     and the measure of pure instrumentation overhead).
+//   - Symmetric: N equal coroutines round-robin at primary yields — the
+//     CoroBase-style throughput mode the paper's §2 describes for
+//     databases.
+//   - Dual-mode (§3.3, asymmetric concurrency): one latency-sensitive
+//     primary plus scavengers. The primary yields only at likely misses;
+//     scavengers run in the shadow of those misses and hand the CPU back
+//     at a conditional yield once the miss is hidden, chaining to more
+//     scavengers on demand when they hit misses of their own.
+//
+// Context switches are physically enacted: the outgoing coroutine's
+// registers are saved per the yield's live mask and every register outside
+// the mask is poisoned on resume, so the instrumenter's liveness analysis
+// is verified by execution, not trusted.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/coro"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Config tunes the runtime.
+type Config struct {
+	// Switch prices context switches.
+	Switch coro.CostModel
+	// HideTarget is the fallback hide window (cycles) for a primary yield
+	// whose prefetch residual is unknown. Defaults to the machine's DRAM
+	// latency when zero.
+	HideTarget uint64
+	// HWAssist enables the §4.1 cache-presence probe: a primary yield is
+	// skipped when the just-prefetched line is already in L1/L2.
+	HWAssist bool
+	// HWAssistProbeCost is the probe's cycle cost.
+	HWAssistProbeCost uint64
+	// MaxSteps bounds total retired instructions per run (runaway guard).
+	MaxSteps uint64
+	// KeepScavengersAfterPrimary lets scavengers run to completion after
+	// the primary halts (throughput accounting); when false the run ends
+	// at primary halt.
+	KeepScavengersAfterPrimary bool
+	// Tracer, when non-nil, receives scheduling events (switches, hide
+	// episodes, chains, halts) for debugging.
+	Tracer trace.Tracer
+}
+
+// DefaultConfig returns the reference runtime configuration.
+func DefaultConfig() Config {
+	return Config{
+		Switch:            coro.DefaultCostModel(),
+		HWAssistProbeCost: 2,
+		MaxSteps:          200_000_000,
+	}
+}
+
+// Task wraps a coroutine context under executor control.
+type Task struct {
+	Ctx  *coro.Context
+	Mode coro.Mode
+
+	saved    coro.Saved
+	hasSaved bool
+}
+
+// NewTask wraps a context.
+func NewTask(ctx *coro.Context, mode coro.Mode) *Task {
+	ctx.Mode = mode
+	return &Task{Ctx: ctx, Mode: mode}
+}
+
+// Stats summarizes one run.
+type Stats struct {
+	// Cycles is the wall-clock duration of the run.
+	Cycles uint64
+	// Busy, Stall and Switch are aggregated over all tasks.
+	Busy, Stall, Switch uint64
+	// Retired counts instructions retired by all tasks.
+	Retired uint64
+	// Switches counts context switches enacted.
+	Switches uint64
+	// PrimaryLatency is the wall time from run start to primary halt
+	// (dual-mode runs only).
+	PrimaryLatency uint64
+	// PrimaryDelay accumulates cycles the primary spent switched out
+	// beyond the residual fill time it was hiding (dual-mode runs only):
+	// the latency cost of asymmetric concurrency.
+	PrimaryDelay uint64
+	// Episodes counts primary yield episodes; ChainSwitches counts
+	// scavenger-to-scavenger hand-offs inside episodes. ChainSwitches /
+	// Episodes is the paper's "scavengers invoked per miss" (§3.3).
+	Episodes      uint64
+	ChainSwitches uint64
+	// HWSkips counts primary yields skipped by the §4.1 presence probe.
+	HWSkips uint64
+	// Latencies[i] is the wall time from run start to task i's halt
+	// (symmetric runs only; zero for tasks still running).
+	Latencies []uint64
+	// Halted counts tasks that ran to completion.
+	Halted int
+}
+
+// Efficiency returns busy cycles as a fraction of wall cycles: the
+// paper's CPU-efficiency metric.
+func (s Stats) Efficiency() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Cycles)
+}
+
+// StallFraction returns stall cycles as a fraction of wall cycles.
+func (s Stats) StallFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Stall) / float64(s.Cycles)
+}
+
+// IPC returns retired instructions per wall cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// Executor drives tasks on a core.
+type Executor struct {
+	Core *cpu.Core
+	Cfg  Config
+}
+
+// New creates an executor.
+func New(core *cpu.Core, cfg Config) *Executor {
+	if cfg.HideTarget == 0 {
+		cfg.HideTarget = core.Hier.Config().LatDRAM
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultConfig().MaxSteps
+	}
+	return &Executor{Core: core, Cfg: cfg}
+}
+
+// ErrFuelExhausted is returned when a run exceeds Config.MaxSteps.
+var ErrFuelExhausted = fmt.Errorf("exec: MaxSteps exceeded (likely livelock)")
+
+// switchFrom enacts a context switch away from t at a yield with the given
+// live mask: save the live set, charge the cost, and mark for poisoned
+// restore.
+func (e *Executor) switchFrom(t *Task, mask isa.RegMask) {
+	t.saved = t.Ctx.SaveLive(mask)
+	t.hasSaved = true
+	cost := e.Cfg.Switch.Cost(mask)
+	e.Core.ChargeSwitch(t.Ctx, cost)
+	e.emit(trace.SwitchOut, t, cost)
+}
+
+// resume reinstates a previously switched-out task, poisoning registers
+// outside its saved mask.
+func (e *Executor) resume(t *Task) {
+	if t.hasSaved {
+		t.Ctx.RestoreFrom(t.saved)
+		t.hasSaved = false
+	}
+	e.emit(trace.Resume, t, 0)
+}
+
+// emit sends a trace event if tracing is enabled.
+func (e *Executor) emit(kind trace.Kind, t *Task, arg uint64) {
+	if e.Cfg.Tracer == nil {
+		return
+	}
+	e.Cfg.Tracer.Emit(trace.Event{
+		Kind: kind,
+		Now:  e.Core.Now,
+		Ctx:  t.Ctx.ID,
+		PC:   t.Ctx.PC,
+		Arg:  arg,
+	})
+}
+
+// collect aggregates task accounting into stats.
+func collect(st *Stats, tasks ...*Task) {
+	for _, t := range tasks {
+		st.Busy += t.Ctx.BusyCycles
+		st.Stall += t.Ctx.StallCycles
+		st.Switch += t.Ctx.SwitchCycles
+		st.Retired += t.Ctx.Retired
+		st.Switches += t.Ctx.Switches
+		if t.Ctx.Halted {
+			st.Halted++
+		}
+	}
+}

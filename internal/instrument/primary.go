@@ -1,0 +1,249 @@
+package instrument
+
+import (
+	"fmt"
+
+	"repro/internal/bincfg"
+	"repro/internal/coro"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/profile"
+)
+
+// Options configures primary instrumentation (§3.2).
+type Options struct {
+	// Policy decides which profiled loads get a prefetch+yield.
+	Policy Policy
+	// Coalesce enables yield coalescing across independent adjacent loads.
+	Coalesce bool
+	// LiveMasks enables liveness-derived save masks on inserted yields;
+	// when false, yields save the full register file.
+	LiveMasks bool
+
+	// Machine and CPU supply latencies for the gain/cost model.
+	Machine mem.Config
+	CPU     cpu.Config
+	// Switch prices the context switches the model weighs.
+	Switch coro.CostModel
+}
+
+// DefaultOptions returns the reference instrumentation configuration: the
+// cost-benefit policy with both optimizations on.
+func DefaultOptions() Options {
+	return Options{
+		Policy:    CostBenefitPolicy{MinGain: 0},
+		Coalesce:  true,
+		LiveMasks: true,
+		Machine:   mem.DefaultConfig(),
+		CPU:       cpu.DefaultConfig(),
+		Switch:    coro.DefaultCostModel(),
+	}
+}
+
+// PrimarySite records one instrumented load.
+type PrimarySite struct {
+	OldPC    int         `json:"old_pc"`
+	NewPC    int         `json:"new_pc"` // position of the load in the rewritten program
+	YieldPC  int         `json:"yield_pc"`
+	MissRate float64     `json:"miss_rate"`
+	Gain     float64     `json:"gain"`
+	Mask     isa.RegMask `json:"mask"`
+	// RunLen > 1 marks the leader of a coalesced group covering RunLen
+	// candidate loads with a single yield.
+	RunLen int `json:"run_len"`
+	// Leader is the OldPC of the group leader if this site's prefetch was
+	// hoisted into a coalesced group (equals OldPC for leaders).
+	Leader int `json:"leader"`
+}
+
+// PrimaryResult reports what primary instrumentation did.
+type PrimaryResult struct {
+	Sites      []PrimarySite `json:"sites"`
+	OldToNew   []int         `json:"old_to_new"`
+	PolicyName string        `json:"policy"`
+	Yields     int           `json:"yields"`
+	Prefetches int           `json:"prefetches"`
+	Candidates int           `json:"candidates"` // profiled loads considered
+}
+
+// BuildSites derives policy inputs from a profile for every candidate in
+// the program: loads and accelerator waits. Candidates without profile
+// samples are omitted (no evidence of stalls, so the pipeline leaves them
+// alone).
+func BuildSites(prog *isa.Program, prof *profile.Profile, opts Options) []Site {
+	var sites []Site
+	for pc, in := range prog.Instrs {
+		switch in.Op {
+		case isa.OpLoad, isa.OpStore:
+			ls := prof.Site(pc)
+			if ls == nil || ls.Execs <= 0 {
+				continue
+			}
+			sites = append(sites, Site{
+				PC:              pc,
+				MissRate:        ls.MissRate(),
+				DRAMFraction:    ls.DRAMFraction(),
+				Execs:           ls.Execs,
+				StallCycles:     ls.StallCycles,
+				ExpectedMissLat: blendedMissLatency(ls.DRAMFraction(), opts.Machine),
+				SwitchCost:      2 * float64(opts.Switch.FullCost()),
+				Absorb:          float64(opts.CPU.PipelineAbsorb),
+			})
+		case isa.OpAccWait:
+			ls := prof.Site(pc)
+			if ls == nil || ls.Execs <= 0 {
+				continue
+			}
+			// An accelerator wait is the event with probability 1; its
+			// expected duration is the profiled stall per execution.
+			sites = append(sites, Site{
+				PC:              pc,
+				MissRate:        1,
+				Execs:           ls.Execs,
+				StallCycles:     ls.StallCycles,
+				ExpectedMissLat: ls.StallCycles/ls.Execs + float64(opts.CPU.PipelineAbsorb),
+				SwitchCost:      2 * float64(opts.Switch.FullCost()),
+				Absorb:          float64(opts.CPU.PipelineAbsorb),
+			})
+		}
+	}
+	return sites
+}
+
+// Primary rewrites prog with prefetch+yield pairs at the loads the policy
+// selects. It returns the rewritten program and a report.
+func Primary(prog *isa.Program, prof *profile.Profile, opts Options) (*isa.Program, *PrimaryResult, error) {
+	if opts.Policy == nil {
+		return nil, nil, fmt.Errorf("instrument: nil policy")
+	}
+	g, err := bincfg.Build(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	live := bincfg.ComputeLiveness(g)
+
+	sites := BuildSites(prog, prof, opts)
+	siteAt := make(map[int]Site, len(sites))
+	for _, s := range sites {
+		siteAt[s.PC] = s
+	}
+
+	res := &PrimaryResult{PolicyName: opts.Policy.Name(), Candidates: len(sites)}
+	rw := NewRewriter(prog)
+
+	maskAt := func(pc int) isa.RegMask {
+		if opts.LiveMasks {
+			return live.LiveIn(pc)
+		}
+		return isa.AllRegs
+	}
+
+	covered := make(map[int]bool)
+	for pc, in := range prog.Instrs {
+		if covered[pc] {
+			continue
+		}
+		s, profiled := siteAt[pc]
+		if !profiled || !opts.Policy.Decide(s) {
+			continue
+		}
+		// Stores get an individual prefetch-for-write (RFO) plus yield;
+		// write misses stall write-allocate caches just like read misses.
+		if in.Op == isa.OpStore {
+			mask := maskAt(pc)
+			rw.InsertBefore(pc,
+				isa.Instr{Op: isa.OpPrefetch, Rs1: in.Rs1, Imm: in.Imm},
+				isa.Instr{Op: isa.OpYield, Imm: int64(mask)},
+			)
+			res.Prefetches++
+			res.Yields++
+			res.Sites = append(res.Sites, PrimarySite{
+				OldPC:    pc,
+				MissRate: s.MissRate,
+				Gain:     s.Gain(),
+				Mask:     mask,
+				Leader:   pc,
+				RunLen:   1,
+			})
+			covered[pc] = true
+			continue
+		}
+		// Accelerator waits get a bare yield: the asynchronous submission
+		// already happened at the matching ACCEL, so there is nothing to
+		// prefetch — the yield alone exposes the wait for hiding.
+		if in.Op == isa.OpAccWait {
+			mask := maskAt(pc)
+			rw.InsertBefore(pc, isa.Instr{Op: isa.OpYield, Imm: int64(mask)})
+			res.Yields++
+			res.Sites = append(res.Sites, PrimarySite{
+				OldPC:    pc,
+				MissRate: s.MissRate,
+				Gain:     s.Gain(),
+				Mask:     mask,
+				Leader:   pc,
+				RunLen:   1,
+			})
+			covered[pc] = true
+			continue
+		}
+		if in.Op != isa.OpLoad {
+			continue
+		}
+		run := 1
+		if opts.Coalesce {
+			run = bincfg.IndependentLoadRun(g, pc)
+		}
+		// Collect the selected loads inside the run; the leader is pc.
+		var group []Site
+		for j := pc; j < pc+run; j++ {
+			gs, ok := siteAt[j]
+			if !ok || !opts.Policy.Decide(gs) {
+				continue
+			}
+			group = append(group, gs)
+		}
+		mask := maskAt(pc)
+		var inserted []isa.Instr
+		for _, gs := range group {
+			ld := prog.Instrs[gs.PC]
+			inserted = append(inserted, isa.Instr{Op: isa.OpPrefetch, Rs1: ld.Rs1, Imm: ld.Imm})
+		}
+		inserted = append(inserted, isa.Instr{Op: isa.OpYield, Imm: int64(mask)})
+		rw.InsertBefore(pc, inserted...)
+		res.Prefetches += len(group)
+		res.Yields++
+
+		for gi, gs := range group {
+			site := PrimarySite{
+				OldPC:    gs.PC,
+				MissRate: gs.MissRate,
+				Gain:     gs.Gain(),
+				Mask:     mask,
+				Leader:   pc,
+			}
+			if gi == 0 {
+				site.RunLen = len(group)
+			}
+			res.Sites = append(res.Sites, site)
+			covered[gs.PC] = true
+		}
+		// Loads inside the run that were not selected remain uncovered
+		// and uninstrumented; loads after the run get their own pass.
+		for j := pc; j < pc+run; j++ {
+			covered[j] = true
+		}
+	}
+
+	out, oldToNew, err := rw.Apply()
+	if err != nil {
+		return nil, nil, err
+	}
+	res.OldToNew = oldToNew
+	for i := range res.Sites {
+		res.Sites[i].NewPC = oldToNew[res.Sites[i].OldPC]
+		// The yield sits immediately before the leader's new position.
+		res.Sites[i].YieldPC = oldToNew[res.Sites[i].Leader] - 1
+	}
+	return out, res, nil
+}

@@ -1,0 +1,90 @@
+package instrument
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Verify statically checks that an instrumented program is a sound
+// rewrite of the original — the validation pass a production binary
+// optimizer runs before shipping a rewritten binary:
+//
+//  1. The original instructions appear in the rewritten program, in
+//     order, at the positions claimed by oldToNew (with branch targets
+//     remapped to their group starts).
+//  2. Every inserted instruction is effect-free (PREFETCH, YIELD, CYIELD,
+//     CHECK or NOP) — nothing that could change architectural results.
+//  3. Every branch in the rewritten program targets the remapped image of
+//     an original target (no branch lands inside a different insertion
+//     group).
+//
+// Together with the runtime semantics tests these make a silent
+// miscompile — the failure mode that ruins PGO deployments — structurally
+// detectable.
+func Verify(orig, rewritten *isa.Program, oldToNew []int) error {
+	if len(oldToNew) != len(orig.Instrs) {
+		return fmt.Errorf("instrument: verify: mapping covers %d of %d instructions",
+			len(oldToNew), len(orig.Instrs))
+	}
+	if err := rewritten.Validate(); err != nil {
+		return fmt.Errorf("instrument: verify: rewritten program invalid: %w", err)
+	}
+
+	// groupStart[i] = start of old instruction i's insertion group: the
+	// end of the previous original instruction's image.
+	groupStart := make(map[int]int, len(orig.Instrs))
+	prevEnd := 0
+	for i, nw := range oldToNew {
+		if nw < prevEnd {
+			return fmt.Errorf("instrument: verify: mapping not monotone at %d", i)
+		}
+		groupStart[i] = prevEnd
+		prevEnd = nw + 1
+	}
+
+	isOriginal := make([]bool, len(rewritten.Instrs))
+	validTargets := make(map[int]bool, len(orig.Instrs))
+	for _, gs := range groupStart {
+		validTargets[gs] = true
+	}
+
+	// Rule 1: originals in place (modulo branch-target remapping).
+	for i, in := range orig.Instrs {
+		nw := oldToNew[i]
+		if nw >= len(rewritten.Instrs) {
+			return fmt.Errorf("instrument: verify: instruction %d mapped past the end", i)
+		}
+		got := rewritten.Instrs[nw]
+		isOriginal[nw] = true
+		want := in
+		if in.Op.IsBranch() {
+			want.Imm = int64(groupStart[in.Target()])
+		}
+		if got != want {
+			return fmt.Errorf("instrument: verify: instruction %d changed: %v -> %v (at %d)",
+				i, in, got, nw)
+		}
+	}
+
+	// Rule 2: insertions are effect-free.
+	for i, in := range rewritten.Instrs {
+		if isOriginal[i] {
+			continue
+		}
+		switch in.Op {
+		case isa.OpNop, isa.OpPrefetch, isa.OpYield, isa.OpCYield, isa.OpCheck:
+		default:
+			return fmt.Errorf("instrument: verify: inserted instruction %d (%v) is not effect-free", i, in)
+		}
+	}
+
+	// Rule 3: all branches land on group starts of original targets.
+	for i, in := range rewritten.Instrs {
+		if in.Op.IsBranch() && !validTargets[in.Target()] {
+			return fmt.Errorf("instrument: verify: branch at %d targets %d, not a remapped original target",
+				i, in.Target())
+		}
+	}
+	return nil
+}

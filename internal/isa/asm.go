@@ -1,0 +1,367 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates textual assembly into a Program.
+//
+// Syntax, one instruction per line:
+//
+//	; comment (also #)
+//	label:
+//	    movi  r1, 4096
+//	    load  r2, [r1+8]
+//	    store [r1], r2
+//	    addi  r1, r1, 8
+//	    cmpi  r2, 0
+//	    jne   label
+//	    call  fn
+//	    prefetch [r2]
+//	    yield            ; optional mask operand, defaults to all registers
+//	    halt
+//
+// Immediates may be decimal or 0x-hex, and branch operands may be labels or
+// absolute indices. Labels become entries in the program symbol table.
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		instr int    // instruction index with unresolved target
+		label string // label name
+		line  int    // source line for diagnostics
+	}
+	p := &Program{Symbols: map[string]int{}}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := p.Symbols[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo+1, label)
+			}
+			p.Symbols[label] = len(p.Instrs)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+		op, ok := opByName(mnemonic)
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", lineNo+1, mnemonic)
+		}
+		ops := splitOperands(rest)
+
+		in := Instr{Op: op}
+		var err error
+		switch op.Kind() {
+		case KindNop, KindRet, KindHalt:
+			if len(ops) != 0 {
+				err = fmt.Errorf("takes no operands")
+			}
+		case KindALU:
+			err = parseALU(&in, ops)
+		case KindLoad:
+			if len(ops) != 2 {
+				err = fmt.Errorf("expects rd, [rs+imm]")
+				break
+			}
+			if in.Rd, err = parseReg(ops[0]); err != nil {
+				break
+			}
+			in.Rs1, in.Imm, err = parseMem(ops[1])
+		case KindStore:
+			if len(ops) != 2 {
+				err = fmt.Errorf("expects [rs+imm], rs2")
+				break
+			}
+			if in.Rs1, in.Imm, err = parseMem(ops[0]); err != nil {
+				break
+			}
+			in.Rs2, err = parseReg(ops[1])
+		case KindPrefetch, KindCheck, KindAccel:
+			if len(ops) != 1 {
+				err = fmt.Errorf("expects [rs+imm]")
+				break
+			}
+			in.Rs1, in.Imm, err = parseMem(ops[0])
+		case KindAccWait:
+			if len(ops) != 1 {
+				err = fmt.Errorf("expects rd")
+				break
+			}
+			in.Rd, err = parseReg(ops[0])
+		case KindCmp:
+			if len(ops) != 2 {
+				err = fmt.Errorf("expects two operands")
+				break
+			}
+			if in.Rs1, err = parseReg(ops[0]); err != nil {
+				break
+			}
+			if op == OpCmp {
+				in.Rs2, err = parseReg(ops[1])
+			} else {
+				in.Imm, err = parseImm(ops[1])
+			}
+		case KindBranch, KindCall:
+			if len(ops) != 1 {
+				err = fmt.Errorf("expects one target")
+				break
+			}
+			if v, e := parseImm(ops[0]); e == nil {
+				in.Imm = v
+			} else if isIdent(ops[0]) {
+				fixups = append(fixups, pending{len(p.Instrs), ops[0], lineNo + 1})
+			} else {
+				err = fmt.Errorf("bad target %q", ops[0])
+			}
+		case KindYield:
+			switch len(ops) {
+			case 0:
+				in.Imm = int64(AllRegs)
+			case 1:
+				var v int64
+				if v, err = parseImm(ops[0]); err == nil {
+					in.Imm = v & 0xFFFF
+				}
+			default:
+				err = fmt.Errorf("expects at most one mask operand")
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %s: %v", lineNo+1, mnemonic, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	for _, f := range fixups {
+		idx, ok := p.Symbols[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+		}
+		p.Instrs[f.instr].Imm = int64(idx)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error, for statically known
+// sources such as the bundled workloads.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); int(op) < NumOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+func opByName(name string) (Op, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "sp" {
+		return SP, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v >= 1<<31 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return v, nil
+}
+
+// parseMem parses "[rN]", "[rN+imm]" or "[rN-imm]".
+func parseMem(s string) (Reg, int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	imm, err := parseImm(strings.TrimSpace(string(inner[sep]) + strings.TrimSpace(inner[sep+1:])))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, imm, nil
+}
+
+func parseALU(in *Instr, ops []string) error {
+	info := opTable[in.Op]
+	want := 1
+	if info.hasRs1 {
+		want++
+	}
+	if info.hasRs2 || info.hasImm {
+		want++
+	}
+	// mov rd, rs has rd+rs1 only => want==2; movi rd, imm => rd+imm.
+	if in.Op == OpMov {
+		want = 2
+	}
+	if in.Op == OpMovI {
+		want = 2
+	}
+	if len(ops) != want {
+		return fmt.Errorf("expects %d operands, got %d", want, len(ops))
+	}
+	var err error
+	if in.Rd, err = parseReg(ops[0]); err != nil {
+		return err
+	}
+	i := 1
+	if info.hasRs1 {
+		if in.Rs1, err = parseReg(ops[i]); err != nil {
+			return err
+		}
+		i++
+	}
+	if info.hasRs2 {
+		if in.Rs2, err = parseReg(ops[i]); err != nil {
+			return err
+		}
+	} else if info.hasImm {
+		if in.Imm, err = parseImm(ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Disassemble renders a program back to assembly text with synthesized
+// labels at branch targets. The output re-assembles to an identical
+// program, which the tests verify.
+func Disassemble(p *Program) string {
+	// Collect branch-target labels, preferring symbol-table names.
+	labels := map[int]string{}
+	for name, idx := range p.Symbols {
+		if idx >= 0 && idx <= len(p.Instrs) {
+			if old, ok := labels[idx]; !ok || name < old {
+				labels[idx] = name
+			}
+		}
+	}
+	for _, in := range p.Instrs {
+		if in.Op.IsBranch() {
+			t := in.Target()
+			if _, ok := labels[t]; !ok {
+				labels[t] = fmt.Sprintf("L%d", t)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, in := range p.Instrs {
+		if lbl, ok := labels[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		if in.Op.IsBranch() {
+			fmt.Fprintf(&b, "    %s %s\n", in.Op, labels[in.Target()])
+			continue
+		}
+		fmt.Fprintf(&b, "    %s\n", instrText(in))
+	}
+	if lbl, ok := labels[len(p.Instrs)]; ok {
+		fmt.Fprintf(&b, "%s:\n", lbl)
+	}
+	return b.String()
+}
+
+// instrText renders an instruction in re-assemblable form (String() uses a
+// friendlier but asymmetric format for yields).
+func instrText(in Instr) string {
+	if in.Op.IsYield() {
+		return fmt.Sprintf("%s 0x%04x", in.Op, uint16(in.Imm))
+	}
+	if in.Op == OpMovI {
+		return fmt.Sprintf("movi r%d, %d", in.Rd, in.Imm)
+	}
+	if in.Op == OpMov {
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs1)
+	}
+	return in.String()
+}

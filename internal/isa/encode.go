@@ -1,0 +1,124 @@
+package isa
+
+import "fmt"
+
+// Binary encoding: each instruction packs into one 64-bit word.
+//
+//	bits 63..56  opcode
+//	bits 55..52  rd
+//	bits 51..48  rs1
+//	bits 47..44  rs2
+//	bits 43..32  reserved (must be zero)
+//	bits 31..0   immediate (two's-complement)
+//
+// The instrumentation pipeline operates on this representation: an image is
+// decoded, rewritten and re-encoded, with branch-target relocation applied
+// during rewriting, exactly as a post-link binary optimizer would.
+
+const (
+	shiftOp  = 56
+	shiftRd  = 52
+	shiftRs1 = 48
+	shiftRs2 = 44
+)
+
+// EncodeInstr packs a single instruction into its 64-bit word.
+func EncodeInstr(in Instr) uint64 {
+	w := uint64(in.Op) << shiftOp
+	w |= uint64(in.Rd&0xF) << shiftRd
+	w |= uint64(in.Rs1&0xF) << shiftRs1
+	w |= uint64(in.Rs2&0xF) << shiftRs2
+	w |= uint64(uint32(int32(in.Imm)))
+	return w
+}
+
+// DecodeInstr unpacks a 64-bit word into an instruction. It fails on
+// undefined opcodes or nonzero reserved bits.
+func DecodeInstr(w uint64) (Instr, error) {
+	op := Op(w >> shiftOp)
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("isa: undefined opcode %d in word %#016x", uint8(op), w)
+	}
+	if (w>>32)&0xFFF != 0 {
+		return Instr{}, fmt.Errorf("isa: reserved bits set in word %#016x", w)
+	}
+	return Instr{
+		Op:  op,
+		Rd:  Reg((w >> shiftRd) & 0xF),
+		Rs1: Reg((w >> shiftRs1) & 0xF),
+		Rs2: Reg((w >> shiftRs2) & 0xF),
+		Imm: int64(int32(uint32(w))),
+	}, nil
+}
+
+// Image is an encoded program: the binary artifact the profiler runs and
+// the instrumenter rewrites. Symbols survive encoding so that reports can
+// name functions, but execution and rewriting never need them.
+type Image struct {
+	Words   []uint64
+	Symbols map[string]int
+}
+
+// Encode converts a program into its binary image.
+func Encode(p *Program) *Image {
+	img := &Image{Words: make([]uint64, len(p.Instrs))}
+	for i, in := range p.Instrs {
+		img.Words[i] = EncodeInstr(in)
+	}
+	if p.Symbols != nil {
+		img.Symbols = make(map[string]int, len(p.Symbols))
+		for k, v := range p.Symbols {
+			img.Symbols[k] = v
+		}
+	}
+	return img
+}
+
+// Decode converts a binary image back into a program, validating every
+// word and every branch target.
+func Decode(img *Image) (*Program, error) {
+	p := &Program{Instrs: make([]Instr, len(img.Words))}
+	for i, w := range img.Words {
+		in, err := DecodeInstr(w)
+		if err != nil {
+			return nil, fmt.Errorf("isa: word %d: %w", i, err)
+		}
+		p.Instrs[i] = in
+	}
+	if img.Symbols != nil {
+		p.Symbols = make(map[string]int, len(img.Symbols))
+		for k, v := range img.Symbols {
+			p.Symbols[k] = v
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustDecode is Decode for images known to be well-formed (e.g. produced by
+// Encode in the same process); it panics on error.
+func MustDecode(img *Image) *Program {
+	p, err := Decode(img)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the number of instructions in the image.
+func (img *Image) Len() int { return len(img.Words) }
+
+// Clone returns a deep copy of the image.
+func (img *Image) Clone() *Image {
+	c := &Image{Words: make([]uint64, len(img.Words))}
+	copy(c.Words, img.Words)
+	if img.Symbols != nil {
+		c.Symbols = make(map[string]int, len(img.Symbols))
+		for k, v := range img.Symbols {
+			c.Symbols[k] = v
+		}
+	}
+	return c
+}

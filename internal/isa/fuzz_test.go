@@ -1,0 +1,103 @@
+package isa
+
+import "testing"
+
+// FuzzDecodeInstr: decoding any 64-bit word either fails cleanly or
+// yields an instruction that re-encodes to the same word.
+func FuzzDecodeInstr(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(EncodeInstr(Instr{Op: OpLoad, Rd: 1, Rs1: 2, Imm: -8}))
+	f.Add(EncodeInstr(Instr{Op: OpYield, Imm: int64(AllRegs)}))
+	f.Add(uint64(OpHalt) << 56)
+	f.Fuzz(func(t *testing.T, w uint64) {
+		in, err := DecodeInstr(w)
+		if err != nil {
+			return
+		}
+		if back := EncodeInstr(in); back != w {
+			t.Fatalf("decode/encode not involutive: %#x -> %v -> %#x", w, in, back)
+		}
+	})
+}
+
+// FuzzAssemble: the assembler never panics, and anything it accepts
+// validates, encodes, decodes and disassembles back to an equivalent
+// program.
+func FuzzAssemble(f *testing.F) {
+	f.Add("main:\n  movi r1, 5\n  halt\n")
+	f.Add(sampleAsm)
+	f.Add("loop: load r1, [r1]\n jmp loop")
+	f.Add("yield 0xffff\ncyield\nprefetch [sp-8]\ncheck [r0]")
+	f.Add(": : :")
+	f.Add("movi r1, 0x7fffffff\nstore [r1-4], r2")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("assembler accepted an invalid program: %v", err)
+		}
+		back, err := Decode(Encode(prog))
+		if err != nil {
+			t.Fatalf("accepted program does not round-trip: %v", err)
+		}
+		re, err := Assemble(Disassemble(back))
+		if err != nil {
+			t.Fatalf("disassembly does not re-assemble: %v", err)
+		}
+		if len(re.Instrs) != len(prog.Instrs) {
+			t.Fatalf("instruction count changed across round trip")
+		}
+		for i := range prog.Instrs {
+			if re.Instrs[i] != prog.Instrs[i] {
+				t.Fatalf("instruction %d changed: %v -> %v", i, prog.Instrs[i], re.Instrs[i])
+			}
+		}
+	})
+}
+
+// FuzzRefInterp: the reference interpreter never panics on any decodable
+// program, under bounded fuel and a bounds-checked memory.
+func FuzzRefInterp(f *testing.F) {
+	f.Add("main:\n  movi r1, 5\n  halt\n")
+	f.Add("load r1, [r0]\nhalt")
+	f.Add("call 0")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil || len(prog.Instrs) == 0 {
+			return
+		}
+		st := &RefState{}
+		st.Regs[SP] = 1 << 10
+		m := &boundedMemory{size: 1 << 12, data: map[uint64]uint64{}}
+		_ = RefRun(prog, st, m, 10000) // errors are fine; panics are not
+	})
+}
+
+type boundedMemory struct {
+	size uint64
+	data map[uint64]uint64
+}
+
+func (m *boundedMemory) Read64(addr uint64) (uint64, error) {
+	if addr < 8 || addr+8 > m.size {
+		return 0, errFault
+	}
+	return m.data[addr], nil
+}
+
+func (m *boundedMemory) Write64(addr, v uint64) error {
+	if addr < 8 || addr+8 > m.size {
+		return errFault
+	}
+	m.data[addr] = v
+	return nil
+}
+
+var errFault = fmtError("fault")
+
+type fmtError string
+
+func (e fmtError) Error() string { return string(e) }

@@ -1,0 +1,197 @@
+package isa
+
+import "fmt"
+
+// RefMemory is the memory interface the reference interpreter needs.
+type RefMemory interface {
+	Read64(addr uint64) (uint64, error)
+	Write64(addr, v uint64) error
+}
+
+// RefState is the architectural state of the reference interpreter: a
+// deliberately minimal, timing-free second implementation of the ISA
+// semantics. The cycle-level core in internal/cpu is differentially
+// tested against it — any divergence means one of the two interpreters
+// mis-implements the ISA.
+type RefState struct {
+	Regs   [NumRegs]uint64
+	PC     int
+	Flags  int
+	Halted bool
+	Result uint64
+
+	AccelPending bool
+	AccelResult  uint64
+}
+
+// RefStep executes one instruction of prog against the state. Prefetches,
+// yields and checks are functional no-ops (checks never trap here: the
+// reference models the unsandboxed machine).
+func RefStep(prog *Program, st *RefState, m RefMemory) error {
+	if st.Halted {
+		return fmt.Errorf("isa: reference stepping a halted state")
+	}
+	if st.PC < 0 || st.PC >= len(prog.Instrs) {
+		return fmt.Errorf("isa: reference pc %d out of range", st.PC)
+	}
+	in := prog.Instrs[st.PC]
+	next := st.PC + 1
+	r := &st.Regs
+	switch in.Op {
+	case OpNop, OpPrefetch, OpYield, OpCYield, OpCheck:
+	case OpAccel:
+		v, err := AccelChecksum(m, r[in.Rs1]+uint64(in.Imm))
+		if err != nil {
+			return err
+		}
+		st.AccelResult = v
+		st.AccelPending = true
+	case OpAccWait:
+		// Sticky completion record: reading with nothing outstanding
+		// returns the last result (initially zero).
+		r[in.Rd] = st.AccelResult
+		st.AccelPending = false
+	case OpMovI:
+		r[in.Rd] = uint64(in.Imm)
+	case OpMov:
+		r[in.Rd] = r[in.Rs1]
+	case OpAdd:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case OpSub:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case OpMul:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case OpDiv:
+		if r[in.Rs2] == 0 {
+			r[in.Rd] = 0
+		} else {
+			r[in.Rd] = r[in.Rs1] / r[in.Rs2]
+		}
+	case OpAnd:
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+	case OpOr:
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+	case OpXor:
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+	case OpShl:
+		r[in.Rd] = r[in.Rs1] << (r[in.Rs2] & 63)
+	case OpShr:
+		r[in.Rd] = r[in.Rs1] >> (r[in.Rs2] & 63)
+	case OpAddI:
+		r[in.Rd] = r[in.Rs1] + uint64(in.Imm)
+	case OpMulI:
+		r[in.Rd] = r[in.Rs1] * uint64(in.Imm)
+	case OpAndI:
+		r[in.Rd] = r[in.Rs1] & uint64(in.Imm)
+	case OpShlI:
+		r[in.Rd] = r[in.Rs1] << (uint64(in.Imm) & 63)
+	case OpShrI:
+		r[in.Rd] = r[in.Rs1] >> (uint64(in.Imm) & 63)
+	case OpLoad:
+		v, err := m.Read64(r[in.Rs1] + uint64(in.Imm))
+		if err != nil {
+			return err
+		}
+		r[in.Rd] = v
+	case OpStore:
+		if err := m.Write64(r[in.Rs1]+uint64(in.Imm), r[in.Rs2]); err != nil {
+			return err
+		}
+	case OpCmp:
+		st.Flags = refSign(int64(r[in.Rs1]), int64(r[in.Rs2]))
+	case OpCmpI:
+		st.Flags = refSign(int64(r[in.Rs1]), in.Imm)
+	case OpJmp:
+		next = in.Target()
+	case OpJeq:
+		if st.Flags == 0 {
+			next = in.Target()
+		}
+	case OpJne:
+		if st.Flags != 0 {
+			next = in.Target()
+		}
+	case OpJlt:
+		if st.Flags < 0 {
+			next = in.Target()
+		}
+	case OpJle:
+		if st.Flags <= 0 {
+			next = in.Target()
+		}
+	case OpJgt:
+		if st.Flags > 0 {
+			next = in.Target()
+		}
+	case OpJge:
+		if st.Flags >= 0 {
+			next = in.Target()
+		}
+	case OpCall:
+		sp := r[SP] - 8
+		if err := m.Write64(sp, uint64(st.PC+1)); err != nil {
+			return err
+		}
+		r[SP] = sp
+		next = in.Target()
+	case OpRet:
+		ra, err := m.Read64(r[SP])
+		if err != nil {
+			return err
+		}
+		r[SP] += 8
+		if ra >= uint64(len(prog.Instrs)) {
+			return fmt.Errorf("isa: reference ret to %d", ra)
+		}
+		next = int(ra)
+	case OpHalt:
+		st.Halted = true
+		st.Result = r[1]
+	default:
+		return fmt.Errorf("isa: reference: unimplemented opcode %v", in.Op)
+	}
+	st.PC = next
+	return nil
+}
+
+// RefRun executes until halt or fuel exhaustion.
+func RefRun(prog *Program, st *RefState, m RefMemory, fuel int) error {
+	for i := 0; i < fuel; i++ {
+		if st.Halted {
+			return nil
+		}
+		if err := RefStep(prog, st, m); err != nil {
+			return err
+		}
+	}
+	if !st.Halted {
+		return fmt.Errorf("isa: reference: fuel exhausted after %d steps", fuel)
+	}
+	return nil
+}
+
+// AccelChecksum is the accelerator's functional semantics: a weighted
+// checksum of the 64-byte block containing addr. Both interpreters (the
+// cycle-level core and this reference) share it.
+func AccelChecksum(m RefMemory, addr uint64) (uint64, error) {
+	base := addr &^ 63
+	var sum uint64
+	for i := uint64(0); i < 8; i++ {
+		v, err := m.Read64(base + i*8)
+		if err != nil {
+			return 0, err
+		}
+		sum += v * (i + 1)
+	}
+	return sum, nil
+}
+
+func refSign(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

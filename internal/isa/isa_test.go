@@ -1,0 +1,348 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegMask(t *testing.T) {
+	var m RegMask
+	if m.Count() != 0 {
+		t.Fatalf("empty mask count = %d", m.Count())
+	}
+	m = m.With(0).With(3).With(15)
+	for _, r := range []Reg{0, 3, 15} {
+		if !m.Has(r) {
+			t.Errorf("mask should contain r%d", r)
+		}
+	}
+	if m.Has(1) {
+		t.Error("mask should not contain r1")
+	}
+	if got := m.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	m = m.Without(3)
+	if m.Has(3) || m.Count() != 2 {
+		t.Errorf("Without(3) failed: %v", m)
+	}
+	if AllRegs.Count() != NumRegs {
+		t.Errorf("AllRegs.Count = %d", AllRegs.Count())
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+		if !op.Valid() {
+			t.Errorf("op %d should be valid", op)
+		}
+	}
+	if Op(200).Valid() {
+		t.Error("op 200 should be invalid")
+	}
+	if !OpJeq.IsConditional() || OpJmp.IsConditional() {
+		t.Error("conditional classification wrong")
+	}
+	if !OpJmp.Terminates() || OpJeq.Terminates() {
+		t.Error("terminates classification wrong")
+	}
+	if !OpCall.IsBranch() || OpRet.IsBranch() {
+		t.Error("branch classification wrong")
+	}
+	if !OpYield.IsYield() || !OpCYield.IsYield() || OpNop.IsYield() {
+		t.Error("yield classification wrong")
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		uses RegMask
+		defs RegMask
+	}{
+		{Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, RegMask(0).With(2).With(3), RegMask(0).With(1)},
+		{Instr{Op: OpMovI, Rd: 4, Imm: 7}, 0, RegMask(0).With(4)},
+		{Instr{Op: OpLoad, Rd: 1, Rs1: 2}, RegMask(0).With(2), RegMask(0).With(1)},
+		{Instr{Op: OpStore, Rs1: 2, Rs2: 3}, RegMask(0).With(2).With(3), 0},
+		{Instr{Op: OpHalt}, RegMask(0).With(1), 0},
+		{Instr{Op: OpRet}, RegMask(0).With(1).With(SP), 0},
+		{Instr{Op: OpCall}, RegMask(0).With(1).With(2).With(3).With(SP), AllRegs.Without(SP)},
+		{Instr{Op: OpYield, Imm: int64(AllRegs)}, 0, 0},
+		{Instr{Op: OpPrefetch, Rs1: 5}, RegMask(0).With(5), 0},
+		{Instr{Op: OpCheck, Rs1: 6}, RegMask(0).With(6), 0},
+		{Instr{Op: OpCmpI, Rs1: 7, Imm: 1}, RegMask(0).With(7), 0},
+	}
+	for _, c := range cases {
+		if got := c.in.Uses(); got != c.uses {
+			t.Errorf("%s: Uses = %v, want %v", c.in, got, c.uses)
+		}
+		if got := c.in.Defs(); got != c.defs {
+			t.Errorf("%s: Defs = %v, want %v", c.in, got, c.defs)
+		}
+	}
+}
+
+// randInstr generates a structurally valid instruction with branch targets
+// inside [0, progLen).
+func randInstr(rng *rand.Rand, progLen int) Instr {
+	op := Op(rng.Intn(NumOps))
+	info := opTable[op]
+	in := Instr{Op: op}
+	if info.hasRd {
+		in.Rd = Reg(rng.Intn(NumRegs))
+	}
+	if info.hasRs1 {
+		in.Rs1 = Reg(rng.Intn(NumRegs))
+	}
+	if info.hasRs2 {
+		in.Rs2 = Reg(rng.Intn(NumRegs))
+	}
+	switch {
+	case op.IsBranch():
+		in.Imm = int64(rng.Intn(progLen))
+	case op.IsYield():
+		in.Imm = int64(uint16(rng.Uint32()))
+	case info.hasImm:
+		in.Imm = int64(int32(rng.Uint32()))
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		p := &Program{}
+		for i := 0; i < n; i++ {
+			p.Instrs = append(p.Instrs, randInstr(rng, n))
+		}
+		img := Encode(p)
+		q, err := Decode(img)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(q.Instrs) != len(p.Instrs) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != q.Instrs[i] {
+				t.Fatalf("trial %d: instruction %d: %v != %v", trial, i, p.Instrs[i], q.Instrs[i])
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeSingleQuick(t *testing.T) {
+	// Property: any instruction with a 32-bit immediate round-trips through
+	// the word encoding.
+	f := func(op8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Instr{
+			Op:  Op(int(op8) % NumOps),
+			Rd:  Reg(rd % NumRegs),
+			Rs1: Reg(rs1 % NumRegs),
+			Rs2: Reg(rs2 % NumRegs),
+			Imm: int64(imm),
+		}
+		out, err := DecodeInstr(EncodeInstr(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadWords(t *testing.T) {
+	if _, err := DecodeInstr(uint64(200) << shiftOp); err == nil {
+		t.Error("undefined opcode should fail")
+	}
+	w := EncodeInstr(Instr{Op: OpAdd}) | (1 << 40) // reserved bit
+	if _, err := DecodeInstr(w); err == nil {
+		t.Error("reserved bits should fail")
+	}
+	img := &Image{Words: []uint64{EncodeInstr(Instr{Op: OpJmp, Imm: 99})}}
+	if _, err := Decode(img); err == nil {
+		t.Error("out-of-range branch target should fail decode validation")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := &Program{Instrs: []Instr{{Op: OpJmp, Imm: 1}, {Op: OpHalt}}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	p = &Program{Instrs: []Instr{{Op: OpJmp, Imm: -1}}}
+	if err := p.Validate(); err == nil {
+		t.Error("negative branch target accepted")
+	}
+	p = &Program{Instrs: []Instr{{Op: Op(250)}}}
+	if err := p.Validate(); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+}
+
+const sampleAsm = `
+; pointer-chase kernel
+main:
+    movi r2, 0          ; accumulator
+    movi r3, 100        ; iterations
+loop:
+    load r1, [r1+0]     ; follow next pointer
+    addi r2, r2, 1
+    addi r3, r3, -1
+    cmpi r3, 0
+    jgt  loop
+    mov  r1, r2
+    halt
+`
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble(sampleAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 9 {
+		t.Fatalf("got %d instructions, want 9", len(p.Instrs))
+	}
+	if p.Symbols["main"] != 0 || p.Symbols["loop"] != 2 {
+		t.Fatalf("symbols wrong: %v", p.Symbols)
+	}
+	jgt := p.Instrs[6]
+	if jgt.Op != OpJgt || jgt.Target() != 2 {
+		t.Fatalf("jgt resolved wrong: %v", jgt)
+	}
+	ld := p.Instrs[2]
+	if ld.Op != OpLoad || ld.Rd != 1 || ld.Rs1 != 1 || ld.Imm != 0 {
+		t.Fatalf("load parsed wrong: %v", ld)
+	}
+}
+
+func TestAssembleOperandForms(t *testing.T) {
+	p, err := Assemble(`
+        movi r1, 0x40
+        movi r2, -8
+        load r3, [sp-16]
+        store [r1+24], r2
+        prefetch [r3]
+        check [r3+8]
+        yield 0x00ff
+        yield
+        cyield 0x3
+        add r4, r1, r2
+        shli r5, r4, 3
+        cmp r1, r2
+        jmp 0
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := p.Instrs
+	if ins[0].Imm != 0x40 || ins[1].Imm != -8 {
+		t.Errorf("immediates wrong: %v %v", ins[0], ins[1])
+	}
+	if ins[2].Rs1 != SP || ins[2].Imm != -16 {
+		t.Errorf("sp-relative load wrong: %v", ins[2])
+	}
+	if ins[4].Rs1 != 3 || ins[4].Imm != 0 {
+		t.Errorf("bare memory operand wrong: %v", ins[4])
+	}
+	if ins[6].LiveMask() != 0x00ff {
+		t.Errorf("yield mask = %v", ins[6].LiveMask())
+	}
+	if ins[7].LiveMask() != AllRegs {
+		t.Errorf("default yield mask = %v", ins[7].LiveMask())
+	}
+	if ins[8].Op != OpCYield || ins[8].LiveMask() != 0x3 {
+		t.Errorf("cyield wrong: %v", ins[8])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus r1, r2",
+		"movi r99, 1",
+		"jmp nowhere",
+		"load r1, r2",
+		"halt r1",
+		"dup: nop\ndup: nop",
+		"movi r1, 99999999999999",
+		"yield 1, 2",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p := MustAssemble(sampleAsm)
+	text := Disassemble(p)
+	q, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembling disassembly failed: %v\n%s", err, text)
+	}
+	if len(q.Instrs) != len(p.Instrs) {
+		t.Fatalf("length mismatch: %d != %d", len(q.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i] != q.Instrs[i] {
+			t.Errorf("instruction %d: %v != %v", i, p.Instrs[i], q.Instrs[i])
+		}
+	}
+}
+
+func TestDisassembleRoundTripRandomPrograms(t *testing.T) {
+	// Property: disassembly of any valid program re-assembles to the same
+	// instruction sequence. Generates structured random programs (no
+	// symbols; labels are synthesized).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		p := &Program{}
+		for i := 0; i < n; i++ {
+			in := randInstr(rng, n)
+			// Keep immediates in a printable range for non-branches.
+			if !in.Op.IsBranch() && !in.Op.IsYield() && opTable[in.Op].hasImm {
+				in.Imm = int64(rng.Intn(1<<16) - 1<<15)
+			}
+			p.Instrs = append(p.Instrs, in)
+		}
+		text := Disassemble(p)
+		q, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != q.Instrs[i] {
+				t.Fatalf("trial %d instr %d: %v != %v\n%s", trial, i, p.Instrs[i], q.Instrs[i], text)
+			}
+		}
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := MustAssemble(sampleAsm)
+	q := p.Clone()
+	q.Instrs[0].Imm = 999
+	q.Symbols["main"] = 5
+	if p.Instrs[0].Imm == 999 || p.Symbols["main"] == 5 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestImageClone(t *testing.T) {
+	img := Encode(MustAssemble(sampleAsm))
+	c := img.Clone()
+	c.Words[0] = 0
+	c.Symbols["main"] = 7
+	if img.Words[0] == 0 || img.Symbols["main"] == 7 {
+		t.Error("Clone aliases the original")
+	}
+	if img.Len() != 9 {
+		t.Errorf("Len = %d", img.Len())
+	}
+}

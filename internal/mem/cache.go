@@ -1,0 +1,174 @@
+package mem
+
+import "fmt"
+
+// Level identifies where an access was served from.
+type Level uint8
+
+// Hierarchy levels, ordered closest-first.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelDRAM
+	// LevelInflight marks an access that met an in-flight fill started by
+	// an earlier prefetch; the access pays only the residual latency.
+	LevelInflight
+	numLevels
+)
+
+// NumLevels is the number of Level values (including LevelInflight).
+const NumLevels = int(numLevels)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelDRAM:
+		return "DRAM"
+	case LevelInflight:
+		return "inflight"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// cache is one set-associative level with LRU replacement. Only tags are
+// tracked; data lives in the flat Memory (the hierarchy models timing, not
+// coherence).
+type cache struct {
+	sets     uint64
+	ways     int
+	lineBits uint
+	// tags[set*ways+way] holds the line address (addr >> lineBits) + 1,
+	// with 0 meaning invalid.
+	tags []uint64
+	// lru[set*ways+way] holds the last-touch stamp for LRU selection.
+	lru []uint64
+	// dirty[set*ways+way] marks lines with unwritten-back stores.
+	dirty []bool
+	stamp uint64
+}
+
+func newCache(sizeBytes, lineSize uint64, ways int) *cache {
+	if ways <= 0 {
+		panic("mem: cache ways must be positive")
+	}
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		panic("mem: line size must be a power of two")
+	}
+	lines := sizeBytes / lineSize
+	sets := lines / uint64(ways)
+	if sets == 0 {
+		sets = 1
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache set count %d must be a power of two (size %d, line %d, ways %d)", sets, sizeBytes, lineSize, ways))
+	}
+	lb := uint(0)
+	for s := lineSize; s > 1; s >>= 1 {
+		lb++
+	}
+	return &cache{
+		sets:     sets,
+		ways:     ways,
+		lineBits: lb,
+		tags:     make([]uint64, sets*uint64(ways)),
+		lru:      make([]uint64, sets*uint64(ways)),
+		dirty:    make([]bool, sets*uint64(ways)),
+	}
+}
+
+func (c *cache) line(addr uint64) uint64 { return addr >> c.lineBits }
+
+// lookup probes the cache; on hit it refreshes LRU and returns true.
+func (c *cache) lookup(addr uint64) bool {
+	ln := c.line(addr) + 1
+	set := (ln - 1) % c.sets
+	base := set * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == ln {
+			c.stamp++
+			c.lru[base+uint64(w)] = c.stamp
+			return true
+		}
+	}
+	return false
+}
+
+// contains probes without disturbing LRU state (used by the §4.1
+// cache-presence probe, which must not behave like a touch).
+func (c *cache) contains(addr uint64) bool {
+	ln := c.line(addr) + 1
+	set := (ln - 1) % c.sets
+	base := set * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == ln {
+			return true
+		}
+	}
+	return false
+}
+
+// install fills the line, evicting the LRU way if needed. Returns the
+// evicted line address, whether an eviction happened, and whether the
+// victim was dirty (needs writing back).
+func (c *cache) install(addr uint64) (evicted uint64, didEvict, wasDirty bool) {
+	ln := c.line(addr) + 1
+	set := (ln - 1) % c.sets
+	base := set * uint64(c.ways)
+	victim := 0
+	var victimStamp uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		t := c.tags[base+uint64(w)]
+		if t == ln { // already present
+			c.stamp++
+			c.lru[base+uint64(w)] = c.stamp
+			return 0, false, false
+		}
+		if t == 0 { // free way
+			c.stamp++
+			c.tags[base+uint64(w)] = ln
+			c.lru[base+uint64(w)] = c.stamp
+			c.dirty[base+uint64(w)] = false
+			return 0, false, false
+		}
+		if c.lru[base+uint64(w)] < victimStamp {
+			victimStamp = c.lru[base+uint64(w)]
+			victim = w
+		}
+	}
+	old := c.tags[base+uint64(victim)] - 1
+	dirty := c.dirty[base+uint64(victim)]
+	c.stamp++
+	c.tags[base+uint64(victim)] = ln
+	c.lru[base+uint64(victim)] = c.stamp
+	c.dirty[base+uint64(victim)] = false
+	return old << c.lineBits, true, dirty
+}
+
+// markDirty flags a resident line as modified; no-op when absent.
+func (c *cache) markDirty(addr uint64) {
+	ln := c.line(addr) + 1
+	set := (ln - 1) % c.sets
+	base := set * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == ln {
+			c.dirty[base+uint64(w)] = true
+			return
+		}
+	}
+}
+
+// flush invalidates every line.
+func (c *cache) flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+		c.dirty[i] = false
+	}
+	c.stamp = 0
+}

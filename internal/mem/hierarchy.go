@@ -1,0 +1,404 @@
+package mem
+
+import "fmt"
+
+// Config sizes the cache hierarchy and fixes its latencies in cycles.
+// Defaults model a contemporary server core at 3 GHz: L1 hits absorbable by
+// the pipeline, L2/L3 in the paper's 10s-of-ns "out of hand" band, DRAM at
+// 100 ns.
+type Config struct {
+	LineSize uint64
+
+	L1Size uint64
+	L1Ways int
+	L2Size uint64
+	L2Ways int
+	L3Size uint64
+	L3Ways int
+
+	// Latencies are total load-to-use cycles when served from each level.
+	LatL1   uint64
+	LatL2   uint64
+	LatL3   uint64
+	LatDRAM uint64
+
+	// WritebackPenalty is added to an access that evicts a dirty line
+	// from L1 (the victim must be written back before the fill lands).
+	WritebackPenalty uint64
+
+	// MaxInflight caps outstanding prefetch-initiated fills (the MSHR
+	// budget). Software and hardware prefetches beyond the cap are
+	// dropped, bounding memory-level parallelism as real cores do.
+	// Zero means unlimited.
+	MaxInflight int
+
+	// HWPrefetchDistance enables the hardware stream prefetcher: when an
+	// access to line L follows a recent access to line L-1 (an ascending
+	// stream), fills are started for the next HWPrefetchDistance lines.
+	// Zero disables it. Sequential scans hit steady-state with no stalls,
+	// as on real cores; pointer chases see no benefit — exactly the
+	// asymmetry the paper's software mechanism targets.
+	HWPrefetchDistance int
+}
+
+// DefaultConfig returns the reference machine used throughout the
+// experiments (see DESIGN.md §1).
+func DefaultConfig() Config {
+	return Config{
+		LineSize: 64,
+		L1Size:   32 << 10,
+		L1Ways:   8,
+		L2Size:   256 << 10,
+		L2Ways:   8,
+		L3Size:   8 << 20,
+		L3Ways:   16,
+		LatL1:    4,
+		LatL2:    14,
+		LatL3:    50,
+		LatDRAM:  300,
+
+		WritebackPenalty:   12,
+		MaxInflight:        64,
+		HWPrefetchDistance: 4,
+	}
+}
+
+// Validate checks the configuration for structural problems.
+func (c Config) Validate() error {
+	if c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("mem: line size %d must be a power of two", c.LineSize)
+	}
+	if c.L1Ways <= 0 || c.L2Ways <= 0 || c.L3Ways <= 0 {
+		return fmt.Errorf("mem: cache ways must be positive")
+	}
+	if !(c.LatL1 <= c.LatL2 && c.LatL2 <= c.LatL3 && c.LatL3 <= c.LatDRAM) {
+		return fmt.Errorf("mem: latencies must be monotone across levels")
+	}
+	return nil
+}
+
+// Latency returns the configured total latency for a given serving level.
+func (c Config) Latency(l Level) uint64 {
+	switch l {
+	case LevelL1:
+		return c.LatL1
+	case LevelL2:
+		return c.LatL2
+	case LevelL3:
+		return c.LatL3
+	default:
+		return c.LatDRAM
+	}
+}
+
+// Stats counts accesses by serving level plus prefetch activity.
+type Stats struct {
+	Accesses     [NumLevels]uint64 // loads+stores served per level
+	Prefetches   uint64            // prefetch instructions that started a fill
+	PrefetchHits uint64            // prefetches that found the line already cached
+	HWPrefetches uint64            // fills started by the hardware stream prefetcher
+	MSHRDrops    uint64            // prefetches dropped at the MaxInflight cap
+	Writebacks   uint64            // dirty L1 victims written back
+	// InflightFull counts residual-latency accesses whose fill had already
+	// completed (the prefetch fully hid the miss).
+	InflightFull uint64
+}
+
+// Total returns the total number of demand accesses.
+func (s *Stats) Total() uint64 {
+	var t uint64
+	for _, n := range s.Accesses {
+		t += n
+	}
+	return t
+}
+
+// inflight records one outstanding fill started by a prefetch.
+type inflight struct {
+	completion uint64 // cycle at which the line arrives
+	level      Level  // level that is servicing the fill
+}
+
+// Hierarchy is the three-level cache model. All methods take the current
+// global cycle `now`; callers must present non-decreasing timestamps.
+type Hierarchy struct {
+	cfg Config
+	l1  *cache
+	l2  *cache
+	l3  *cache
+
+	fills map[uint64]inflight // line address -> outstanding fill
+
+	// recent holds the last few accessed line addresses for stream
+	// detection (hardware prefetcher).
+	recent    [8]uint64
+	recentPos int
+
+	Stats Stats
+}
+
+// NewHierarchy builds a hierarchy from the configuration.
+func NewHierarchy(cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Hierarchy{
+		cfg:   cfg,
+		l1:    newCache(cfg.L1Size, cfg.LineSize, cfg.L1Ways),
+		l2:    newCache(cfg.L2Size, cfg.LineSize, cfg.L2Ways),
+		l3:    newCache(cfg.L3Size, cfg.LineSize, cfg.L3Ways),
+		fills: make(map[uint64]inflight),
+	}, nil
+}
+
+// MustNewHierarchy panics on configuration errors.
+func MustNewHierarchy(cfg Config) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+func (h *Hierarchy) lineAddr(addr uint64) uint64 {
+	return addr &^ (h.cfg.LineSize - 1)
+}
+
+// AccessResult describes one demand access.
+type AccessResult struct {
+	// Latency is the total cycles the access takes from issue to data.
+	Latency uint64
+	// Level is where the access was served from. LevelInflight means an
+	// earlier prefetch was still (or had finished) bringing the line in.
+	Level Level
+	// MissedL2 reports whether the access missed both L1 and L2 — the
+	// event class the paper's mechanism targets ("L2/L3 cache misses").
+	MissedL2 bool
+}
+
+// Access performs a demand load of the line containing addr at cycle
+// `now` and returns its latency and serving level. The line is installed
+// in all levels afterwards.
+func (h *Hierarchy) Access(addr, now uint64) AccessResult {
+	return h.AccessW(addr, now, false)
+}
+
+// AccessW is Access with an explicit read/write flag: stores mark the L1
+// line dirty (write-back, write-allocate), and a fill that evicts a dirty
+// victim pays the write-back penalty.
+func (h *Hierarchy) AccessW(addr, now uint64, write bool) AccessResult {
+	ln := h.lineAddr(addr)
+	h.streamDetect(ln, now)
+
+	if f, ok := h.fills[ln]; ok {
+		delete(h.fills, ln)
+		wb := h.installAll(ln)
+		res := AccessResult{Level: LevelInflight, MissedL2: f.level == LevelL3 || f.level == LevelDRAM}
+		if f.completion <= now {
+			// Fill already completed; the access behaves like an L1 hit.
+			res.Latency = h.cfg.LatL1
+			h.Stats.InflightFull++
+		} else {
+			res.Latency = f.completion - now
+			if res.Latency < h.cfg.LatL1 {
+				res.Latency = h.cfg.LatL1
+			}
+		}
+		res.Latency += wb
+		if write {
+			h.l1.markDirty(ln)
+		}
+		h.Stats.Accesses[LevelInflight]++
+		return res
+	}
+
+	var lvl Level
+	switch {
+	case h.l1.lookup(ln):
+		lvl = LevelL1
+	case h.l2.lookup(ln):
+		lvl = LevelL2
+	case h.l3.lookup(ln):
+		lvl = LevelL3
+	default:
+		lvl = LevelDRAM
+	}
+	wb := h.installAll(ln)
+	if write {
+		h.l1.markDirty(ln)
+	}
+	h.Stats.Accesses[lvl]++
+	return AccessResult{
+		Latency:  h.cfg.Latency(lvl) + wb,
+		Level:    lvl,
+		MissedL2: lvl == LevelL3 || lvl == LevelDRAM,
+	}
+}
+
+// Prefetch starts an asynchronous fill of the line containing addr at cycle
+// `now`. It returns the level the fill is served from and the completion
+// cycle; if the line is already in L1 (or already being filled) it is a
+// no-op.
+func (h *Hierarchy) Prefetch(addr, now uint64) (Level, uint64) {
+	ln := h.lineAddr(addr)
+	if _, ok := h.fills[ln]; ok {
+		h.Stats.PrefetchHits++
+		return LevelInflight, now
+	}
+	if h.l1.contains(ln) {
+		h.Stats.PrefetchHits++
+		// Refresh LRU: a prefetch of a cached line is still a touch.
+		h.l1.lookup(ln)
+		return LevelL1, now
+	}
+	if h.cfg.MaxInflight > 0 && len(h.fills) >= h.cfg.MaxInflight {
+		// MSHRs free at fill completion: reclaim finished entries before
+		// concluding the budget is exhausted.
+		h.reclaim(now)
+	}
+	if h.cfg.MaxInflight > 0 && len(h.fills) >= h.cfg.MaxInflight {
+		// MSHRs genuinely exhausted: the prefetch is dropped, as on real
+		// cores.
+		h.Stats.MSHRDrops++
+		return LevelDRAM, now
+	}
+	var lvl Level
+	switch {
+	case h.l2.contains(ln):
+		lvl = LevelL2
+	case h.l3.contains(ln):
+		lvl = LevelL3
+	default:
+		lvl = LevelDRAM
+	}
+	completion := now + h.cfg.Latency(lvl)
+	h.fills[ln] = inflight{completion: completion, level: lvl}
+	h.Stats.Prefetches++
+	return lvl, completion
+}
+
+// reclaim installs completed fills into the caches and frees their MSHRs.
+func (h *Hierarchy) reclaim(now uint64) {
+	for ln, f := range h.fills {
+		if f.completion <= now {
+			h.installAll(ln)
+			delete(h.fills, ln)
+		}
+	}
+}
+
+// streamDetect implements the hardware next-line prefetcher: if the line
+// preceding ln was accessed recently, the access pattern looks like an
+// ascending stream and the next HWPrefetchDistance lines are filled.
+func (h *Hierarchy) streamDetect(ln, now uint64) {
+	dist := h.cfg.HWPrefetchDistance
+	if dist > 0 && ln >= h.cfg.LineSize {
+		prev := ln - h.cfg.LineSize
+		for _, r := range h.recent {
+			if r == prev+1 { // stored with +1 so zero means empty
+				for d := 1; d <= dist; d++ {
+					h.hwPrefetch(ln+uint64(d)*h.cfg.LineSize, now)
+				}
+				break
+			}
+		}
+	}
+	h.recent[h.recentPos] = ln + 1
+	h.recentPos = (h.recentPos + 1) % len(h.recent)
+}
+
+// hwPrefetch starts a fill on behalf of the hardware prefetcher.
+func (h *Hierarchy) hwPrefetch(ln, now uint64) {
+	if _, ok := h.fills[ln]; ok {
+		return
+	}
+	if h.l1.contains(ln) {
+		return
+	}
+	if h.cfg.MaxInflight > 0 && len(h.fills) >= h.cfg.MaxInflight {
+		h.reclaim(now)
+		if len(h.fills) >= h.cfg.MaxInflight {
+			h.Stats.MSHRDrops++
+			return
+		}
+	}
+	var lvl Level
+	switch {
+	case h.l2.contains(ln):
+		lvl = LevelL2
+	case h.l3.contains(ln):
+		lvl = LevelL3
+	default:
+		lvl = LevelDRAM
+	}
+	h.fills[ln] = inflight{completion: now + h.cfg.Latency(lvl), level: lvl}
+	h.Stats.HWPrefetches++
+}
+
+// Residual returns the cycles remaining until the in-flight fill of the
+// line containing addr completes, or 0 if there is no outstanding fill (or
+// it already completed). The dual-mode executor uses it to size the hide
+// window after a primary yield.
+func (h *Hierarchy) Residual(addr, now uint64) uint64 {
+	if f, ok := h.fills[h.lineAddr(addr)]; ok && f.completion > now {
+		return f.completion - now
+	}
+	return 0
+}
+
+// Contains reports whether the line containing addr is present at or above
+// the given level, counting in-flight fills that have completed by `now`.
+// This is the §4.1 hardware-assist probe; it does not perturb LRU state.
+func (h *Hierarchy) Contains(addr, now uint64, level Level) bool {
+	ln := h.lineAddr(addr)
+	if f, ok := h.fills[ln]; ok && f.completion <= now {
+		return true
+	}
+	if h.l1.contains(ln) {
+		return true
+	}
+	if level >= LevelL2 && h.l2.contains(ln) {
+		return true
+	}
+	if level >= LevelL3 && h.l3.contains(ln) {
+		return true
+	}
+	return false
+}
+
+// Touch installs the line containing addr in every level without timing
+// effects. Workload builders use it to pre-warm caches deterministically.
+func (h *Hierarchy) Touch(addr uint64) {
+	h.installAll(h.lineAddr(addr))
+}
+
+// Flush invalidates all cache levels and drops outstanding fills, e.g.
+// between the profiling run and the measurement run.
+func (h *Hierarchy) Flush() {
+	h.l1.flush()
+	h.l2.flush()
+	h.l3.flush()
+	h.fills = make(map[uint64]inflight)
+	h.recent = [8]uint64{}
+	h.recentPos = 0
+}
+
+// ResetStats zeroes the counters without touching cache state.
+func (h *Hierarchy) ResetStats() { h.Stats = Stats{} }
+
+// installAll fills the line into every level and returns the write-back
+// penalty incurred if L1 had to evict a dirty victim.
+func (h *Hierarchy) installAll(ln uint64) uint64 {
+	_, evicted, dirty := h.l1.install(ln)
+	_ = evicted
+	h.l2.install(ln)
+	h.l3.install(ln)
+	if dirty {
+		h.Stats.Writebacks++
+		return h.cfg.WritebackPenalty
+	}
+	return 0
+}

@@ -1,0 +1,189 @@
+package profile
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/pebs"
+)
+
+func sample(ev pebs.EventKind, pc int, weight uint64) pebs.Sample {
+	return pebs.Sample{Event: ev, PC: pc, Weight: weight}
+}
+
+func TestBuildAggregatesSites(t *testing.T) {
+	samples := []pebs.Sample{
+		sample(pebs.EvLoadRetired, 5, 100),
+		sample(pebs.EvLoadRetired, 5, 100),
+		sample(pebs.EvLoadL2Miss, 5, 50),
+		sample(pebs.EvLoadL3Miss, 5, 50),
+		sample(pebs.EvStallCycle, 5, 1000),
+		sample(pebs.EvLoadRetired, 9, 100),
+	}
+	p := Build(20, samples, nil)
+	if len(p.Sites) != 2 {
+		t.Fatalf("sites = %d, want 2", len(p.Sites))
+	}
+	s := p.Site(5)
+	if s == nil {
+		t.Fatal("site 5 missing")
+	}
+	if s.Execs != 200 || s.L2Misses != 50 || s.L3Misses != 50 || s.StallCycles != 1000 {
+		t.Errorf("site 5: %+v", s)
+	}
+	if got := s.MissRate(); got != 0.25 {
+		t.Errorf("MissRate = %f, want 0.25", got)
+	}
+	if got := s.DRAMFraction(); got != 1.0 {
+		t.Errorf("DRAMFraction = %f, want 1", got)
+	}
+	if p.Site(3) != nil {
+		t.Error("unsampled site should be nil")
+	}
+	if p.TotalStallCycles != 1000 || p.TotalSamples != 6 {
+		t.Errorf("totals wrong: %+v", p)
+	}
+}
+
+func TestBuildIgnoresOutOfRangeSamples(t *testing.T) {
+	p := Build(4, []pebs.Sample{sample(pebs.EvLoadRetired, 99, 1)}, nil)
+	if len(p.Sites) != 0 {
+		t.Error("out-of-range sample aggregated")
+	}
+}
+
+func TestMissRateClamped(t *testing.T) {
+	// Sampling noise can make misses exceed execs; the rate must clamp.
+	p := Build(10, []pebs.Sample{
+		sample(pebs.EvLoadRetired, 1, 10),
+		sample(pebs.EvLoadL2Miss, 1, 100),
+	}, nil)
+	if got := p.Site(1).MissRate(); got != 1.0 {
+		t.Errorf("MissRate = %f, want clamped 1.0", got)
+	}
+	// No retire samples: unknown denominator, rate 0.
+	p2 := Build(10, []pebs.Sample{sample(pebs.EvLoadL2Miss, 1, 100)}, nil)
+	if got := p2.Site(1).MissRate(); got != 0 {
+		t.Errorf("MissRate without execs = %f, want 0", got)
+	}
+}
+
+func TestBuildWithLBR(t *testing.T) {
+	lbr := pebs.NewLBRStats()
+	lbr.Edges[pebs.Edge{From: 10, To: 2}] = 7
+	lbr.BlockCycleSum[2] = 300
+	lbr.BlockCycleCount[2] = 10
+	p := Build(20, nil, lbr)
+	if len(p.Edges) != 1 || p.Edges[0].Count != 7 {
+		t.Errorf("edges: %+v", p.Edges)
+	}
+	lat, ok := p.BlockLatencyAt(2)
+	if !ok || lat != 30 {
+		t.Errorf("block latency = %v ok=%v", lat, ok)
+	}
+	if _, ok := p.BlockLatencyAt(3); ok {
+		t.Error("unknown block latency should be absent")
+	}
+}
+
+func TestHotLoads(t *testing.T) {
+	p := Build(20, []pebs.Sample{
+		sample(pebs.EvStallCycle, 3, 100),
+		sample(pebs.EvStallCycle, 7, 500),
+		sample(pebs.EvStallCycle, 9, 300),
+	}, nil)
+	hot := p.HotLoads()
+	if len(hot) != 3 || hot[0] != 7 || hot[1] != 9 || hot[2] != 3 {
+		t.Errorf("HotLoads = %v", hot)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Build(20, []pebs.Sample{
+		sample(pebs.EvLoadRetired, 5, 100),
+		sample(pebs.EvLoadL2Miss, 5, 40),
+	}, nil)
+	lbr := pebs.NewLBRStats()
+	lbr.Edges[pebs.Edge{From: 8, To: 2}] = 3
+	lbr.BlockCycleSum[2] = 40
+	lbr.BlockCycleCount[2] = 2
+	b := Build(20, []pebs.Sample{
+		sample(pebs.EvLoadRetired, 5, 100),
+		sample(pebs.EvLoadRetired, 11, 100),
+	}, lbr)
+	lbr2 := pebs.NewLBRStats()
+	lbr2.Edges[pebs.Edge{From: 8, To: 2}] = 1
+	lbr2.BlockCycleSum[2] = 60
+	lbr2.BlockCycleCount[2] = 2
+	c := Build(20, nil, lbr2)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	if a.Site(5).Execs != 200 || a.Site(5).L2Misses != 40 {
+		t.Errorf("merged site 5: %+v", a.Site(5))
+	}
+	if a.Site(11) == nil {
+		t.Error("merged site 11 missing")
+	}
+	var edge *EdgeCount
+	for i := range a.Edges {
+		if a.Edges[i].From == 8 {
+			edge = &a.Edges[i]
+		}
+	}
+	if edge == nil || edge.Count != 4 {
+		t.Errorf("merged edge: %+v", a.Edges)
+	}
+	lat, ok := a.BlockLatencyAt(2)
+	if !ok || math.Abs(lat-25) > 1e-9 { // (20*2 + 30*2)/4
+		t.Errorf("merged block latency = %v", lat)
+	}
+
+	d := Build(30, nil, nil)
+	if err := a.Merge(d); err == nil {
+		t.Error("merging different programs should fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	lbr := pebs.NewLBRStats()
+	lbr.Edges[pebs.Edge{From: 4, To: 1}] = 9
+	lbr.BlockCycleSum[1] = 90
+	lbr.BlockCycleCount[1] = 3
+	p := Build(16, []pebs.Sample{
+		sample(pebs.EvLoadRetired, 5, 100),
+		sample(pebs.EvLoadL2Miss, 5, 40),
+		sample(pebs.EvStallCycle, 5, 900),
+	}, lbr)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Profile
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.ProgramLen != p.ProgramLen || len(q.Sites) != len(p.Sites) ||
+		len(q.Edges) != len(p.Edges) || len(q.Blocks) != len(p.Blocks) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", q, p)
+	}
+	if q.Site(5).StallCycles != 900 {
+		t.Errorf("site after round trip: %+v", q.Site(5))
+	}
+}
+
+func TestDRAMFractionEdgeCases(t *testing.T) {
+	s := &LoadSite{L2Misses: 0, L3Misses: 5}
+	if s.DRAMFraction() != 0 {
+		t.Error("zero L2 misses should give zero fraction")
+	}
+	s = &LoadSite{L2Misses: 2, L3Misses: 5}
+	if s.DRAMFraction() != 1 {
+		t.Error("fraction should clamp to 1")
+	}
+}

@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coro"
+	"repro/internal/cpu"
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// The test image: an instrumented pointer chase (requests) and an
+// instrumented compute loop (batch work with scavenger-phase yields).
+const testImage = `
+    chase:
+        prefetch [r1]
+        yield 0x800a
+        load r1, [r1]
+        addi r3, r3, -1
+        cmpi r3, 0
+        jgt chase
+        halt
+    batch:
+        addi r5, r5, 1
+        cyield 0x8030
+        addi r4, r4, -1
+        cmpi r4, 0
+        jgt batch
+        mov r1, r5
+        halt
+`
+
+func tinyCaches() mem.Config {
+	c := mem.DefaultConfig()
+	c.L1Size = 256
+	c.L1Ways = 1
+	c.L2Size = 1 << 10
+	c.L2Ways = 2
+	c.L3Size = 4 << 10
+	c.L3Ways = 4
+	return c
+}
+
+func buildChain(m *mem.Memory, n int, seed int64) uint64 {
+	base := m.Alloc(uint64(n)*64, 64)
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	for i := 0; i < n; i++ {
+		m.MustWrite64(base+uint64(perm[i])*64, base+uint64(perm[(i+1)%n])*64)
+	}
+	return base + uint64(perm[0])*64
+}
+
+// rig builds a fresh machine with nReq chase requests and nBatch compute
+// tasks, returning the scheduler.
+func rig(t *testing.T, policy Policy, nReq, nBatch int, batchIters int64) (*Scheduler, []*exec.Task) {
+	t.Helper()
+	prog := isa.MustAssemble(testImage)
+	m := mem.NewMemory(4 << 20)
+	core := cpu.MustNewCore(cpu.DefaultConfig(), prog, m, mem.MustNewHierarchy(tinyCaches()))
+	ex := exec.New(core, exec.DefaultConfig())
+	s := New(ex, policy)
+	var reqs []*exec.Task
+	for i := 0; i < nReq; i++ {
+		ctx := coro.NewContext(i, prog.Symbols["chase"], m.Size()-uint64(i+1)*2048)
+		ctx.Regs[1] = buildChain(m, 128, int64(i+1))
+		ctx.Regs[3] = 150
+		task := exec.NewTask(ctx, coro.Primary)
+		s.Submit(task, Request)
+		reqs = append(reqs, task)
+	}
+	for i := 0; i < nBatch; i++ {
+		ctx := coro.NewContext(100+i, prog.Symbols["batch"], m.Size()-uint64(nReq+i+1)*2048)
+		ctx.Regs[4] = uint64(batchIters)
+		s.Submit(exec.NewTask(ctx, coro.Scavenger), Batch)
+	}
+	return s, reqs
+}
+
+func run(t *testing.T, policy Policy, nReq, nBatch int, batchIters int64) Stats {
+	t.Helper()
+	s, reqs := rig(t, policy, nReq, nBatch, batchIters)
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		if !r.Ctx.Halted {
+			t.Fatalf("%v: request %d did not complete", policy, i)
+		}
+		if st.RequestLatencies[i] == 0 {
+			t.Fatalf("%v: request %d latency not recorded", policy, i)
+		}
+	}
+	return st
+}
+
+func TestPoliciesCompleteAllRequests(t *testing.T) {
+	for _, p := range []Policy{Agnostic, Sidecar, EventAware} {
+		st := run(t, p, 3, 2, 20000)
+		if st.Cycles == 0 || st.MeanRequestLatency() == 0 {
+			t.Errorf("%v: empty stats", p)
+		}
+	}
+}
+
+func TestSidecarBeatsAgnosticLatency(t *testing.T) {
+	// Under the agnostic policy requests round-robin with batch work at
+	// every yield; under sidecar they run FIFO with batch only filling
+	// their miss shadows. Batch work is sized so the agnostic queueing
+	// penalty is visible.
+	agnostic := run(t, Agnostic, 2, 2, 30000)
+	sidecar := run(t, Sidecar, 2, 2, 30000)
+	if sidecar.MeanRequestLatency() >= agnostic.MeanRequestLatency() {
+		t.Errorf("sidecar mean latency %.0f should beat agnostic %.0f",
+			sidecar.MeanRequestLatency(), agnostic.MeanRequestLatency())
+	}
+}
+
+func TestEventAwareCoSchedulesRequests(t *testing.T) {
+	// With several requests queued and no batch work, sidecar leaves miss
+	// shadows empty while event-aware fills them with pending requests.
+	sidecar := run(t, Sidecar, 4, 0, 0)
+	aware := run(t, EventAware, 4, 0, 0)
+	if aware.Cycles >= sidecar.Cycles {
+		t.Errorf("event-aware total %d should beat sidecar %d (requests hide each other)",
+			aware.Cycles, sidecar.Cycles)
+	}
+	if aware.MeanRequestLatency() >= sidecar.MeanRequestLatency() {
+		t.Errorf("event-aware mean latency %.0f should beat sidecar %.0f",
+			aware.MeanRequestLatency(), sidecar.MeanRequestLatency())
+	}
+}
+
+func TestSchedulerErrors(t *testing.T) {
+	prog := isa.MustAssemble("halt")
+	m := mem.NewMemory(1 << 16)
+	core := cpu.MustNewCore(cpu.DefaultConfig(), prog, m, mem.MustNewHierarchy(tinyCaches()))
+	s := New(exec.New(core, exec.DefaultConfig()), Sidecar)
+	if _, err := s.Run(); err == nil {
+		t.Error("no requests should error")
+	}
+	s2 := New(exec.New(core, exec.DefaultConfig()), Policy(99))
+	s2.Submit(exec.NewTask(coro.NewContext(0, 0, m.Size()-8), coro.Primary), Request)
+	if _, err := s2.Run(); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, p := range []Policy{Agnostic, Sidecar, EventAware, Policy(9)} {
+		if p.String() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package smt models simultaneous multithreading as a baseline: K hardware
+// contexts multiplex one core, switching on memory stalls with zero
+// software overhead.
+//
+// This captures both limitations the paper attributes to SMT (§1): the
+// degree of concurrency is capped at the hardware context count (2–8 on
+// real cores), and the hardware has no notion of application priority — a
+// latency-sensitive thread is multiplexed like any other, so its latency
+// inflates with the number of co-runners.
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/coro"
+	"repro/internal/cpu"
+)
+
+// Config tunes the SMT model.
+type Config struct {
+	// Contexts is the number of hardware threads (2-8 on real parts).
+	Contexts int
+	// Quantum is the fine-grained multiplexing grain in cycles: the model
+	// rotates runnable contexts every Quantum busy cycles, approximating
+	// per-cycle issue-slot sharing. This is what makes SMT inflate the
+	// latency of a thread sharing the core with compute-bound peers —
+	// the hardware cannot prioritize.
+	Quantum uint64
+	// MaxSteps bounds total retired instructions (runaway guard).
+	MaxSteps uint64
+}
+
+// DefaultConfig models 2-way SMT (Intel Hyper-Threading) with a fine
+// multiplexing grain.
+func DefaultConfig() Config {
+	return Config{Contexts: 2, Quantum: 4, MaxSteps: 200_000_000}
+}
+
+// Stats summarizes an SMT run.
+type Stats struct {
+	// Cycles is the wall-clock duration.
+	Cycles uint64
+	// Busy is the sum of busy cycles across hardware contexts.
+	Busy uint64
+	// Idle counts cycles during which every context was blocked on
+	// memory — the stalls SMT failed to hide.
+	Idle uint64
+	// Retired counts instructions retired by all contexts.
+	Retired uint64
+	// Latencies[i] is the wall time from run start to context i's halt.
+	Latencies []uint64
+}
+
+// Efficiency returns busy cycles as a fraction of wall cycles.
+func (s Stats) Efficiency() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Cycles)
+}
+
+// Run multiplexes the contexts on the core until all halt. Software
+// yields (YIELD/CYIELD) retire as no-ops: SMT is hardware-only and cannot
+// see them. len(ctxs) must not exceed cfg.Contexts.
+func Run(core *cpu.Core, cfg Config, ctxs []*coro.Context) (Stats, error) {
+	if cfg.Contexts <= 0 {
+		return Stats{}, fmt.Errorf("smt: context count must be positive")
+	}
+	if len(ctxs) == 0 {
+		return Stats{}, fmt.Errorf("smt: no contexts")
+	}
+	if len(ctxs) > cfg.Contexts {
+		return Stats{}, fmt.Errorf("smt: %d software threads exceed %d hardware contexts", len(ctxs), cfg.Contexts)
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultConfig().MaxSteps
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = DefaultConfig().Quantum
+	}
+
+	start := core.Now
+	st := Stats{Latencies: make([]uint64, len(ctxs))}
+	blockedUntil := make([]uint64, len(ctxs))
+	running := len(ctxs)
+	cur := 0
+	var steps, sliceUsed uint64
+
+	for running > 0 {
+		if steps >= cfg.MaxSteps {
+			return Stats{}, fmt.Errorf("smt: MaxSteps exceeded")
+		}
+		// Pick the next runnable context, round-robin from cur.
+		picked := -1
+		for off := 0; off < len(ctxs); off++ {
+			i := (cur + off) % len(ctxs)
+			if !ctxs[i].Halted && blockedUntil[i] <= core.Now {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			// All runnable contexts are blocked: idle until the earliest
+			// fill completes. This is the exposed stall SMT cannot hide.
+			var soonest uint64
+			first := true
+			for i := range ctxs {
+				if ctxs[i].Halted {
+					continue
+				}
+				if first || blockedUntil[i] < soonest {
+					soonest = blockedUntil[i]
+					first = false
+				}
+			}
+			if first || soonest <= core.Now {
+				return Stats{}, fmt.Errorf("smt: deadlock — nothing runnable and nothing blocked")
+			}
+			st.Idle += soonest - core.Now
+			core.AdvanceIdle(soonest - core.Now)
+			continue
+		}
+		steps++
+		r, err := core.Step(ctxs[picked], true)
+		if err != nil {
+			return Stats{}, err
+		}
+		sliceUsed += r.Busy
+		rotate := false
+		if r.Stall > 0 {
+			// Block on the fill; the hardware switches to a peer for free.
+			blockedUntil[picked] = core.Now + r.Stall
+			ctxs[picked].StallCycles += r.Stall
+			rotate = true
+		}
+		if r.Halted {
+			st.Latencies[picked] = core.Now - start
+			running--
+			rotate = true
+		}
+		if rotate || sliceUsed >= cfg.Quantum {
+			cur = (picked + 1) % len(ctxs)
+			sliceUsed = 0
+		}
+	}
+	st.Cycles = core.Now - start
+	for _, c := range ctxs {
+		st.Busy += c.BusyCycles
+		st.Retired += c.Retired
+	}
+	return st, nil
+}

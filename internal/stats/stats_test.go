@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %f", s.P50)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("Stddev = %f", s.Stddev)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Error("empty summary should be zero")
+	}
+	one := Summarize([]float64{7})
+	if one.Stddev != 0 || one.P99 != 7 {
+		t.Errorf("single-sample summary: %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {-5, 10}, {200, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.0f = %f, want %f", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by [min, max].
+func TestPercentileMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(n uint8) bool {
+		k := int(n%50) + 1
+		xs := make([]float64, k)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", 42)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") || !strings.Contains(out, "42") {
+		t.Errorf("table content wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: every line after the title has the same prefix width
+	// for column 1.
+	if !strings.HasPrefix(lines[3], "alpha") || !strings.HasPrefix(lines[4], "b    ") {
+		t.Errorf("alignment wrong:\n%s", out)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != "1.50x" {
+		t.Errorf("Ratio = %s", Ratio(3, 2))
+	}
+	if Ratio(1, 0) != "inf" {
+		t.Error("division by zero not guarded")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("md demo", "a", "b")
+	tb.Row("x|y", 1.0)
+	out := tb.Markdown()
+	if !strings.Contains(out, "**md demo**") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| --- | --- |") {
+		t.Errorf("header/separator wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `x\|y`) {
+		t.Error("pipe escaping missing")
+	}
+}

@@ -1,0 +1,147 @@
+// Package trace records executor-level scheduling events — switches,
+// yields, hide episodes, halts — into a bounded ring for debugging and
+// for inspecting dual-mode behaviour. The runtime emits events through
+// the Tracer interface; a nil tracer costs one branch.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	// SwitchOut: a coroutine yielded and was switched away from.
+	SwitchOut Kind = iota
+	// Resume: a coroutine was switched back in.
+	Resume
+	// EpisodeStart: a primary yield opened a hide window.
+	EpisodeStart
+	// EpisodeEnd: control returned to the primary.
+	EpisodeEnd
+	// Chain: a scavenger handed off to another scavenger.
+	Chain
+	// Halt: a coroutine completed.
+	Halt
+	// Skip: a §4.1 presence probe suppressed a yield.
+	Skip
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SwitchOut:
+		return "switch-out"
+	case Resume:
+		return "resume"
+	case EpisodeStart:
+		return "episode-start"
+	case EpisodeEnd:
+		return "episode-end"
+	case Chain:
+		return "chain"
+	case Halt:
+		return "halt"
+	case Skip:
+		return "skip"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one scheduling occurrence.
+type Event struct {
+	Kind Kind
+	// Now is the global cycle at the event.
+	Now uint64
+	// Ctx is the coroutine's context ID.
+	Ctx int
+	// PC is the program counter at the event (where meaningful).
+	PC int
+	// Arg carries kind-specific detail: hide target for EpisodeStart,
+	// away-time for EpisodeEnd, switch cost for SwitchOut.
+	Arg uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%10d] ctx%-3d pc=%-6d %-14s arg=%d", e.Now, e.Ctx, e.PC, e.Kind, e.Arg)
+}
+
+// Tracer receives events.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Ring is a bounded in-memory tracer keeping the most recent events.
+type Ring struct {
+	buf   []Event
+	pos   int
+	full  bool
+	total uint64
+}
+
+// NewRing creates a tracer retaining up to n events.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(e Event) {
+	r.buf[r.pos] = e
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.pos == 0 {
+		r.full = true
+	}
+	r.total++
+}
+
+// Total returns the number of events ever emitted.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.pos]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.pos:]...)
+	out = append(out, r.buf[:r.pos]...)
+	return out
+}
+
+// CountByKind tallies retained events per kind.
+func (r *Ring) CountByKind() map[Kind]int {
+	m := map[Kind]int{}
+	for _, e := range r.Events() {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// Dump writes the retained events as text.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders a one-line per-kind tally.
+func (r *Ring) Summary() string {
+	counts := r.CountByKind()
+	var parts []string
+	for k := Kind(0); k <= Skip; k++ {
+		if counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+		}
+	}
+	return fmt.Sprintf("%d events retained (%d total): %s",
+		len(r.Events()), r.total, strings.Join(parts, " "))
+}

@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// AccelStream drives the onboard accelerator (paper §1: "operations with
+// onboard accelerators", the second family of 10s–100s-of-ns events): for
+// each 64-byte block of a buffer it submits an asynchronous accelerator
+// operation, does a little bookkeeping, then waits for the result. The
+// wait is the hideable event — exactly a cache miss with a different
+// producer.
+type AccelStream struct {
+	// Blocks is the number of 64-byte blocks processed per instance.
+	Blocks int
+	// Pad is the number of filler-loop iterations between submit and
+	// wait (~3 cycles each): the work the application naturally overlaps.
+	Pad int
+	// Instances is the number of independent buffers/coroutines.
+	Instances int
+}
+
+// Name implements Spec.
+func (AccelStream) Name() string { return "accelstream" }
+
+// Register plan: r1=block cursor, r2=remaining blocks, r4=result,
+// r5=accumulator, r6=pad scratch, r7=pad count.
+const accelStreamAsm = `
+main:
+    accel [r1]           ; submit the async operation
+    mov  r6, r7
+pad:
+    cmpi r6, 0
+    jle  pad_done
+    addi r6, r6, -1
+    jmp  pad
+pad_done:
+    accwait r4           ; the hideable 100ns-class wait
+    add  r5, r5, r4
+    addi r1, r1, 64
+    addi r2, r2, -1
+    cmpi r2, 0
+    jgt  main
+    mov  r1, r5
+    halt
+`
+
+// Build implements Spec.
+func (w AccelStream) Build(m *mem.Memory, rng *rand.Rand) (*Built, error) {
+	if w.Blocks < 1 || w.Instances < 1 || w.Pad < 0 {
+		return nil, fmt.Errorf("accel stream: need ≥1 blocks, ≥1 instances, pad ≥ 0")
+	}
+	b := &Built{Prog: isa.MustAssemble(accelStreamAsm)}
+	for inst := 0; inst < w.Instances; inst++ {
+		base := m.Alloc(uint64(w.Blocks)*64, 64)
+		var expected uint64
+		for blk := 0; blk < w.Blocks; blk++ {
+			var sum uint64
+			for i := uint64(0); i < 8; i++ {
+				v := uint64(rng.Intn(1 << 16))
+				m.MustWrite64(base+uint64(blk)*64+i*8, v)
+				sum += v * (i + 1)
+			}
+			expected += sum
+		}
+		var in Instance
+		in.Regs[1] = base
+		in.Regs[2] = uint64(w.Blocks)
+		in.Regs[7] = uint64(w.Pad)
+		in.Expected = expected
+		b.Instances = append(b.Instances, in)
+	}
+	return b, nil
+}

@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// HashJoin probes a chained hash table — the database index-join kernel
+// that motivated coroutine interleaving in CoroBase [23] and Psaropoulos
+// et al. [53]. Each probe hashes a key, loads the bucket head (miss #1)
+// and walks the chain (dependent misses), accumulating matched values.
+type HashJoin struct {
+	// BuildRows is the hash table's row count.
+	BuildRows int
+	// Buckets is the bucket-array size; must be a power of two.
+	Buckets int
+	// Probes is the number of lookups per instance.
+	Probes int
+	// MatchFraction is the probability a probe key exists in the table.
+	MatchFraction float64
+	// Instances is the number of independent tables/coroutines.
+	Instances int
+}
+
+// Name implements Spec.
+func (HashJoin) Name() string { return "hashjoin" }
+
+// hashMul is the multiplicative hash constant; it fits in a positive
+// int32 so MULI sign-extension is a no-op and the host mirror below is
+// exact.
+const hashMul = 0x45d9f3b
+
+// hashIndex mirrors the assembly hash: ((key * hashMul) >> 16) & mask.
+func hashIndex(key uint64, mask uint64) uint64 {
+	return (key * hashMul >> 16) & mask
+}
+
+// Register plan: r1=bucket base, r2=bucket mask, r3=probe-key cursor,
+// r4=remaining probes, r5=accumulator, r6=key, r7=scratch/bucket addr,
+// r8=node, r9=node key, r10=node value.
+const hashJoinAsm = `
+main:
+    load r6, [r3]            ; probe key
+    muli r7, r6, 0x45d9f3b
+    shri r7, r7, 16
+    and  r7, r7, r2
+    shli r7, r7, 3
+    add  r7, r7, r1
+    load r8, [r7]            ; bucket head (likely miss)
+chain:
+    cmpi r8, 0
+    jeq  next_probe
+    load r9, [r8]            ; node key (likely miss)
+    cmp  r9, r6
+    jeq  match
+    load r8, [r8+16]         ; next node (likely miss)
+    jmp  chain
+match:
+    load r10, [r8+8]         ; value
+    add  r5, r5, r10
+next_probe:
+    addi r3, r3, 8
+    addi r4, r4, -1
+    cmpi r4, 0
+    jgt  main
+    mov  r1, r5
+    halt
+`
+
+// Build implements Spec.
+func (w HashJoin) Build(m *mem.Memory, rng *rand.Rand) (*Built, error) {
+	if w.BuildRows < 1 || w.Probes < 1 || w.Instances < 1 {
+		return nil, fmt.Errorf("hash join: need ≥1 rows, probes and instances")
+	}
+	if w.Buckets < 1 || w.Buckets&(w.Buckets-1) != 0 {
+		return nil, fmt.Errorf("hash join: bucket count %d must be a power of two", w.Buckets)
+	}
+	if w.MatchFraction < 0 || w.MatchFraction > 1 {
+		return nil, fmt.Errorf("hash join: match fraction %f out of range", w.MatchFraction)
+	}
+	mask := uint64(w.Buckets - 1)
+	b := &Built{Prog: isa.MustAssemble(hashJoinAsm)}
+
+	for inst := 0; inst < w.Instances; inst++ {
+		bucketBase := m.Alloc(uint64(w.Buckets)*8, 64)
+		for i := 0; i < w.Buckets; i++ {
+			m.MustWrite64(bucketBase+uint64(i)*8, 0)
+		}
+		// Host mirror of the table: bucket -> chain of (key, value) in
+		// walk order (push-front, so reverse insertion order).
+		type row struct{ key, value, addr uint64 }
+		chains := make([][]row, w.Buckets)
+		keys := make([]uint64, 0, w.BuildRows)
+		for i := 0; i < w.BuildRows; i++ {
+			key := uint64(rng.Intn(1 << 30))
+			value := uint64(rng.Intn(1 << 20))
+			keys = append(keys, key)
+			node := m.Alloc(32, 64) // [key, value, next]
+			idx := hashIndex(key, mask)
+			head := m.MustRead64(bucketBase + idx*8)
+			m.MustWrite64(node, key)
+			m.MustWrite64(node+8, value)
+			m.MustWrite64(node+16, head)
+			m.MustWrite64(bucketBase+idx*8, node)
+			chains[idx] = append([]row{{key, value, node}}, chains[idx]...)
+		}
+		// Probe keys.
+		probeBase := m.Alloc(uint64(w.Probes)*8, 64)
+		var expected uint64
+		for i := 0; i < w.Probes; i++ {
+			var key uint64
+			if rng.Float64() < w.MatchFraction {
+				key = keys[rng.Intn(len(keys))]
+			} else {
+				key = uint64(rng.Intn(1<<30)) | 1<<30 // outside build range
+			}
+			m.MustWrite64(probeBase+uint64(i)*8, key)
+			// Host walk: first key match in chain order wins.
+			for _, r := range chains[hashIndex(key, mask)] {
+				if r.key == key {
+					expected += r.value
+					break
+				}
+			}
+		}
+		var in Instance
+		in.Regs[1] = bucketBase
+		in.Regs[2] = mask
+		in.Regs[3] = probeBase
+		in.Regs[4] = uint64(w.Probes)
+		in.Expected = expected
+		b.Instances = append(b.Instances, in)
+	}
+	return b, nil
+}

@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// lcgMul/lcgAdd are the scatter workload's inline LCG constants; they fit
+// in positive int32 so MULI sign-extension is a no-op and the host mirror
+// is exact.
+const (
+	lcgMul = 0x41c64e6d
+	lcgAdd = 12345
+)
+
+// Scatter performs random store-dominated updates over a large table —
+// the write-side counterpart of the pointer chase. Each update computes a
+// pseudo-random slot and stores into it: a write-allocate RFO miss on a
+// cold line, the event class the store-instrumentation path hides. A
+// final sequential pass checksums the table (validating the stores).
+type Scatter struct {
+	// Slots is the table size; footprint Slots × 64 bytes (one slot per
+	// line so every cold store is an RFO miss).
+	Slots int
+	// Updates is the number of scattered stores per instance.
+	Updates int
+	// Instances is the number of independent tables/coroutines.
+	Instances int
+}
+
+// Name implements Spec.
+func (Scatter) Name() string { return "scatter" }
+
+// Register plan: r1=table base, r2=slot mask, r3=remaining updates,
+// r4=LCG state, r5=checksum accumulator, r6=slot scratch, r7=cursor,
+// r8=remaining slots.
+const scatterAsm = `
+main:
+    muli r4, r4, 0x41c64e6d
+    addi r4, r4, 12345
+    shri r6, r4, 8
+    and  r6, r6, r2
+    shli r6, r6, 6
+    add  r6, r6, r1
+    store [r6], r4        ; scattered store: RFO miss on a cold line
+    addi r3, r3, -1
+    cmpi r3, 0
+    jgt  main
+    mov  r7, r1           ; checksum pass (sequential, prefetcher-covered)
+    mov  r8, r2
+    addi r8, r8, 1
+csum:
+    load r9, [r7]
+    add  r5, r5, r9
+    addi r7, r7, 64
+    addi r8, r8, -1
+    cmpi r8, 0
+    jgt  csum
+    mov  r1, r5
+    halt
+`
+
+// Build implements Spec.
+func (w Scatter) Build(m *mem.Memory, rng *rand.Rand) (*Built, error) {
+	if w.Slots < 1 || w.Slots&(w.Slots-1) != 0 {
+		return nil, fmt.Errorf("scatter: slot count %d must be a power of two", w.Slots)
+	}
+	if w.Updates < 1 || w.Instances < 1 {
+		return nil, fmt.Errorf("scatter: need ≥1 updates and instances")
+	}
+	b := &Built{Prog: isa.MustAssemble(scatterAsm)}
+	mask := uint64(w.Slots - 1)
+	for inst := 0; inst < w.Instances; inst++ {
+		base := m.Alloc(uint64(w.Slots)*64, 64)
+		table := make([]uint64, w.Slots)
+		for i := range table {
+			m.MustWrite64(base+uint64(i)*64, 0)
+		}
+		seed := uint64(1 + rng.Intn(1<<30))
+		// Host mirror of the update loop.
+		state := seed
+		for u := 0; u < w.Updates; u++ {
+			state = state*lcgMul + lcgAdd
+			slot := (state >> 8) & mask
+			table[slot] = state
+		}
+		var expected uint64
+		for _, v := range table {
+			expected += v
+		}
+		var in Instance
+		in.Regs[1] = base
+		in.Regs[2] = mask
+		in.Regs[3] = uint64(w.Updates)
+		in.Regs[4] = seed
+		in.Expected = expected
+		b.Instances = append(b.Instances, in)
+	}
+	return b, nil
+}
