@@ -1,3 +1,11 @@
+// This file is the flat compatibility surface: type aliases and free
+// functions predating the Session entry point (see session.go). All of
+// it keeps working — existing callers and examples compile unchanged —
+// but new code should start from NewSession, which owns the machine,
+// experiment lookup/run, instrumentation and execution policy in one
+// place. The aliases that name simulator building blocks (Machine,
+// Harness, workloads, configs) are not deprecated; only the free
+// functions that Session now subsumes are.
 package repro
 
 import (
@@ -31,9 +39,15 @@ type (
 )
 
 // DefaultMachine returns the reference experiment machine.
+//
+// Deprecated: prefer NewSession, whose default machine this is; use
+// Session.Machine to inspect it or WithMachine to replace it.
 func DefaultMachine() Machine { return experiments.Default() }
 
 // NewHarness composes workload specs over a fresh simulated memory.
+//
+// Deprecated: prefer Session.NewHarness, which binds the harness to the
+// session's machine (seed, caches, switch pricing) automatically.
 var NewHarness = experiments.NewHarness
 
 // NS converts simulated cycles to nanoseconds (3 GHz clock).
@@ -177,6 +191,10 @@ type (
 
 // Experiments returns the registry of all evaluation experiments
 // (Figure 1 and E1–E20), in presentation order.
+//
+// Deprecated: prefer Session.ExperimentIDs with Session.Run /
+// Session.RunAll, which execute on the session's machine with its
+// parallelism and cache policy.
 func Experiments() []struct {
 	ID  string
 	Run ExperimentRunner
@@ -185,6 +203,9 @@ func Experiments() []struct {
 }
 
 // LookupExperiment finds an experiment runner by ID (e.g. "F1", "E7").
+//
+// Deprecated: prefer Session.Run, which resolves IDs and reports
+// unknown ones with the full list of valid choices.
 func LookupExperiment(id string) (ExperimentRunner, bool) { return experiments.Lookup(id) }
 
 // ExperimentIDs lists all experiment IDs in order.

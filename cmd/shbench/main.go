@@ -1,18 +1,24 @@
 // Command shbench regenerates the evaluation: Figure 1 and experiments
-// E1–E13 (see DESIGN.md §3 for the per-experiment index and EXPERIMENTS.md
-// for paper-vs-measured discussion).
+// E1–E20 (see DESIGN.md §3 for the per-experiment index and EXPERIMENTS.md
+// for paper-vs-measured discussion). Sweeps fan out over the parallel
+// runner; output is byte-identical for tables and metrics at any
+// parallelism, and a warm result cache skips already-computed cells.
 //
 // Usage:
 //
-//	shbench                  # run everything
-//	shbench -exp F1,E7       # selected experiments
-//	shbench -list            # enumerate experiment IDs
-//	shbench -metrics         # also dump flat metrics (machine-readable)
+//	shbench                        # run everything
+//	shbench -exp F1,E7             # selected experiments
+//	shbench -list                  # enumerate experiment IDs
+//	shbench -metrics               # also dump flat metrics (machine-readable)
+//	shbench -seeds 5 -parallel 8   # 5-seed stability sweep on 8 workers
+//	shbench -cache -progress       # cache results, report live progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -20,16 +26,36 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
+// options collects everything run needs, so tests can drive it without
+// the process-global flag set.
+type options struct {
+	exp      string
+	metrics  bool
+	seed     int64
+	format   string
+	seeds    int
+	parallel int
+	progress bool
+	cache    bool
+	cacheDir string
+}
+
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+	var o options
+	flag.StringVar(&o.exp, "exp", "all", "comma-separated experiment IDs, or 'all'")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
-	metrics := flag.Bool("metrics", false, "dump flat metrics after each table")
-	seed := flag.Int64("seed", 0, "override the scenario seed (0 keeps the default)")
-	format := flag.String("format", "text", "text | md (markdown tables for reports)")
-	seeds := flag.Int("seeds", 1, "repeat each experiment across N seeds and summarize metric stability")
+	flag.BoolVar(&o.metrics, "metrics", false, "dump flat metrics after each table")
+	flag.Int64Var(&o.seed, "seed", 0, "override the scenario seed (0 keeps the default)")
+	flag.StringVar(&o.format, "format", "text", "text | md (markdown tables for reports)")
+	flag.IntVar(&o.seeds, "seeds", 1, "repeat each experiment across N seeds and summarize metric stability")
+	flag.IntVar(&o.parallel, "parallel", 1, "worker goroutines for the sweep (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.progress, "progress", false, "report per-job completion on stderr")
+	flag.BoolVar(&o.cache, "cache", false, "serve and store results in the content-addressed cache")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "cache directory (implies -cache; default ~/.cache/softhide)")
 	flag.Parse()
 
 	if *list {
@@ -38,76 +64,136 @@ func main() {
 		}
 		return
 	}
-	if err := run(*expFlag, *metrics, *seed, *format, *seeds); err != nil {
+	if err := run(context.Background(), os.Stdout, os.Stderr, o); err != nil {
 		fmt.Fprintln(os.Stderr, "shbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(expFlag string, metrics bool, seed int64, format string, seeds int) error {
+func run(ctx context.Context, w, ew io.Writer, o options) error {
+	if o.format != "text" && o.format != "md" {
+		return fmt.Errorf("unknown format %q (want text or md)", o.format)
+	}
+	if o.seeds < 1 {
+		return fmt.Errorf("-seeds must be ≥ 1 (got %d)", o.seeds)
+	}
+	if o.parallel < 0 {
+		return fmt.Errorf("-parallel must be ≥ 0 (got %d)", o.parallel)
+	}
 	mach := core.DefaultMachine()
-	if seed != 0 {
-		mach.Seed = seed
+	if o.seed != 0 {
+		mach.Seed = o.seed
 	}
 
 	var ids []string
-	if expFlag == "all" {
+	if o.exp == "all" {
 		ids = experiments.IDs()
 	} else {
-		for _, id := range strings.Split(expFlag, ",") {
+		for _, id := range strings.Split(o.exp, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
 
-	fmt.Printf("softhide evaluation — %d experiment(s), seed %d\n", len(ids), mach.Seed)
-	fmt.Printf("machine: L1 %dKiB / L2 %dKiB / L3 %dKiB, latencies %d/%d/%d/%d cycles, switch %d cycles\n\n",
+	// Expand experiment × seed jobs upfront: a mistyped ID fails here,
+	// before any simulation starts, naming every valid choice.
+	jobs, err := runner.Jobs(ids, mach, o.seeds)
+	if err != nil {
+		return err
+	}
+
+	var cache *runner.Cache
+	if o.cache || o.cacheDir != "" {
+		dir := o.cacheDir
+		if dir == "" {
+			if dir, err = runner.DefaultDir(); err != nil {
+				return err
+			}
+		}
+		if cache, err = runner.OpenCache(dir); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "softhide evaluation — %d experiment(s), seed %d\n", len(ids), mach.Seed)
+	fmt.Fprintf(w, "machine: L1 %dKiB / L2 %dKiB / L3 %dKiB, latencies %d/%d/%d/%d cycles, switch %d cycles\n\n",
 		mach.Mem.L1Size>>10, mach.Mem.L2Size>>10, mach.Mem.L3Size>>10,
 		mach.Mem.LatL1, mach.Mem.LatL2, mach.Mem.LatL3, mach.Mem.LatDRAM,
 		mach.Switch.FullCost())
 
-	for _, id := range ids {
-		runner, ok := experiments.Lookup(id)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (use -list)", id)
-		}
-		start := time.Now()
-		res, err := runner(mach)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		if format == "md" {
-			fmt.Print(res.Markdown())
-		} else {
-			fmt.Print(res.String())
-		}
-		if metrics {
-			fmt.Print(res.MetricsString())
-		}
-		if seeds > 1 {
-			if err := seedStability(runner, mach, res, seeds); err != nil {
-				return fmt.Errorf("%s: %w", id, err)
+	opts := runner.Options{Parallelism: o.parallel, Cache: cache}
+	if o.progress {
+		opts.Progress = func(done, total int, r runner.Result) {
+			state := r.Wall.Round(time.Millisecond).String()
+			if r.CacheHit {
+				state = "cached"
 			}
+			if r.Err != nil {
+				state = "error"
+			}
+			fmt.Fprintf(ew, "progress: %d/%d %s seed=%d (%s)\n", done, total, r.Job.ID, r.Job.Mach.Seed, state)
 		}
-		fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// Jobs arrive in presentation order, experiment-major: the o.seeds
+	// results for one experiment are consecutive. Accumulate each group
+	// and render it when its last seed lands, so output streams while
+	// later experiments are still running.
+	var group []runner.Result
+	err = runner.Stream(ctx, jobs, opts, func(r runner.Result) error {
+		group = append(group, r)
+		if len(group) < o.seeds {
+			return nil
+		}
+		if err := present(w, o, group); err != nil {
+			return err
+		}
+		group = group[:0]
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if cache != nil {
+		fmt.Fprintf(ew, "cache: %d hit(s), %d miss(es) under %s\n", cache.Hits(), cache.Misses(), cache.Dir())
 	}
 	return nil
 }
 
-// seedStability reruns the experiment under additional seeds and reports
-// the spread of each metric, exposing any seed-overfit conclusions.
-func seedStability(runner experiments.Runner, mach core.Machine, first *experiments.Result, seeds int) error {
-	samples := map[string][]float64{}
-	for k, v := range first.Metrics {
-		samples[k] = []float64{v}
+// present renders one experiment's seed group: the first seed's tables,
+// optional metrics, optional cross-seed stability, and the wall line.
+func present(w io.Writer, o options, group []runner.Result) error {
+	first := group[0].Res
+	if o.format == "md" {
+		fmt.Fprint(w, first.Markdown())
+	} else {
+		fmt.Fprint(w, first.String())
 	}
-	for i := 1; i < seeds; i++ {
-		m := mach
-		m.Seed = mach.Seed + int64(i)*7919
-		res, err := runner(m)
-		if err != nil {
-			return err
-		}
-		for k, v := range res.Metrics {
+	if o.metrics {
+		fmt.Fprint(w, first.MetricsString())
+	}
+	if o.seeds > 1 {
+		stability(w, group)
+	}
+	var wall time.Duration
+	cached := true
+	for _, r := range group {
+		wall += r.Wall
+		cached = cached && r.CacheHit
+	}
+	if cached {
+		fmt.Fprintf(w, "(cached)\n\n")
+	} else {
+		fmt.Fprintf(w, "(%s wall time)\n\n", wall.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// stability summarizes the spread of each metric across the group's
+// seeds, exposing any seed-overfit conclusions.
+func stability(w io.Writer, group []runner.Result) {
+	samples := map[string][]float64{}
+	for _, r := range group {
+		for k, v := range r.Res.Metrics {
 			samples[k] = append(samples[k], v)
 		}
 	}
@@ -116,10 +202,9 @@ func seedStability(runner experiments.Runner, mach core.Machine, first *experime
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	fmt.Printf("metric stability over %d seeds (mean ± stddev):\n", seeds)
+	fmt.Fprintf(w, "metric stability over %d seeds (mean ± stddev):\n", len(group))
 	for _, k := range keys {
 		s := stats.Summarize(samples[k])
-		fmt.Printf("  %-28s %12.4f ± %.4f\n", k, s.Mean, s.Stddev)
+		fmt.Fprintf(w, "  %-28s %12.4f ± %.4f\n", k, s.Mean, s.Stddev)
 	}
-	return nil
 }

@@ -4,13 +4,18 @@
 // result is validated against the host-reference value, so a bad rewrite
 // fails loudly instead of producing plausible numbers.
 //
+// With -seeds N the run fans out across N scenario seeds on the
+// parallel runner and reports per-seed cycles plus metric stability.
+//
 // Usage:
 //
 //	shrun -workload hashjoin -mode symmetric -n 8
 //	shrun -workload hashjoin -image hashjoin.instrumented.img -mode dual -scavengers 4
+//	shrun -workload bst -mode symmetric -n 8 -seeds 5 -parallel 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,7 +25,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/coro"
 	"repro/internal/exec"
+	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/runner"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -34,15 +42,26 @@ func main() {
 	scavengers := fs.Int("scavengers", 3, "scavenger coroutines (dual mode; instance 0 is the primary)")
 	hwAssist := fs.Bool("hwassist", false, "enable the §4.1 cache-presence probe at primary yields")
 	traceN := fs.Int("trace", 0, "retain and dump the last N scheduling events")
+	seeds := fs.Int("seeds", 1, "run the scenario under N seeds and summarize stability")
+	parallel := fs.Int("parallel", 1, "worker goroutines for the seed sweep (0 = GOMAXPROCS)")
 	fs.Parse(os.Args[1:])
 
-	if err := run(&wf, *imagePath, *mode, *n, *scavengers, *hwAssist, *traceN); err != nil {
+	if err := run(&wf, *imagePath, *mode, *n, *scavengers, *hwAssist, *traceN, *seeds, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "shrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wf *cli.WorkloadFlags, imagePath, mode string, n, scavengers int, hwAssist bool, traceN int) error {
+func run(wf *cli.WorkloadFlags, imagePath, mode string, n, scavengers int, hwAssist bool, traceN, seeds, parallel int) error {
+	if seeds > 1 {
+		if imagePath != "" {
+			return fmt.Errorf("-seeds rebuilds the scenario per seed, which invalidates a fixed -image; drop one of them")
+		}
+		return runSweep(wf, mode, n, scavengers, hwAssist, traceN, seeds, parallel)
+	}
+	if mode == "dual" && scavengers+1 > wf.Instances {
+		return fmt.Errorf("dual mode needs %d instances (1 primary + %d scavengers); pass -instances", scavengers+1, scavengers)
+	}
 	h, part, err := wf.Harness()
 	if err != nil {
 		return err
@@ -75,64 +94,20 @@ func run(wf *cli.WorkloadFlags, imagePath, mode string, n, scavengers int, hwAss
 		img = &core.Image{Prog: prog, Entries: entries}
 	}
 
-	cfg := exec.Config{HWAssist: hwAssist, HWAssistProbeCost: 2}
 	var ring *trace.Ring
 	if traceN > 0 {
 		ring = trace.NewRing(traceN)
-		cfg.Tracer = ring
 	}
-	ex := h.NewExecutor(img, cfg)
-
-	var st exec.Stats
-	switch mode {
-	case "solo":
-		ts, err := h.Tasks(img, part, coro.Primary, 1)
-		if err != nil {
-			return err
-		}
-		if st, err = ex.RunSolo(ts.Tasks[0]); err != nil {
-			return err
-		}
-		if err := ts.Validate(); err != nil {
-			return err
-		}
-	case "symmetric":
-		ts, err := h.Tasks(img, part, coro.Primary, n)
-		if err != nil {
-			return err
-		}
-		if st, err = ex.RunSymmetric(ts.Tasks); err != nil {
-			return err
-		}
-		if err := ts.Validate(); err != nil {
-			return err
-		}
-	case "dual":
-		if scavengers+1 > wf.Instances {
-			return fmt.Errorf("dual mode needs %d instances (1 primary + %d scavengers); pass -instances", scavengers+1, scavengers)
-		}
-		ts, err := h.Tasks(img, part, coro.Primary, scavengers+1)
-		if err != nil {
-			return err
-		}
-		primary := ts.Tasks[0]
-		scavs := ts.Tasks[1:]
-		for _, s := range scavs {
-			s.Mode = coro.Scavenger
-		}
-		if st, err = ex.RunDualMode(primary, scavs); err != nil {
-			return err
-		}
-		if err := ts.Validate(); err != nil {
-			return err
-		}
+	st, err := execute(h, img, part, mode, n, scavengers, hwAssist, ring)
+	if err != nil {
+		return err
+	}
+	if mode == "dual" {
 		fmt.Printf("primary latency: %d cycles (%.0f ns), %d hide episodes, %d scavenger chains\n",
 			st.PrimaryLatency, core.NS(float64(st.PrimaryLatency)), st.Episodes, st.ChainSwitches)
 		if hwAssist {
 			fmt.Printf("presence probe skipped %d yields\n", st.HWSkips)
 		}
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
 	}
 
 	fmt.Printf("%s/%s: %d cycles (%.0f ns simulated)\n", wf.Workload, mode, st.Cycles, core.NS(float64(st.Cycles)))
@@ -145,6 +120,132 @@ func run(wf *cli.WorkloadFlags, imagePath, mode string, n, scavengers int, hwAss
 		if err := ring.Dump(os.Stdout); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// execute runs one scenario under the selected discipline, tracing into
+// ring when non-nil, and validates results against the host reference.
+func execute(h *core.Harness, img *core.Image, part, mode string, n, scavengers int, hwAssist bool, ring *trace.Ring) (exec.Stats, error) {
+	cfg := exec.Config{HWAssist: hwAssist, HWAssistProbeCost: 2}
+	if ring != nil {
+		cfg.Tracer = ring
+	}
+	ex := h.NewExecutor(img, cfg)
+
+	var st exec.Stats
+	switch mode {
+	case "solo":
+		ts, err := h.Tasks(img, part, coro.Primary, 1)
+		if err != nil {
+			return st, err
+		}
+		if st, err = ex.RunSolo(ts.Tasks[0]); err != nil {
+			return st, err
+		}
+		return st, ts.Validate()
+	case "symmetric":
+		ts, err := h.Tasks(img, part, coro.Primary, n)
+		if err != nil {
+			return st, err
+		}
+		if st, err = ex.RunSymmetric(ts.Tasks); err != nil {
+			return st, err
+		}
+		return st, ts.Validate()
+	case "dual":
+		ts, err := h.Tasks(img, part, coro.Primary, scavengers+1)
+		if err != nil {
+			return st, err
+		}
+		primary := ts.Tasks[0]
+		scavs := ts.Tasks[1:]
+		for _, s := range scavs {
+			s.Mode = coro.Scavenger
+		}
+		if st, err = ex.RunDualMode(primary, scavs); err != nil {
+			return st, err
+		}
+		return st, ts.Validate()
+	default:
+		return st, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// runSweep fans the scenario across seeds on the runner and summarizes.
+// With -trace the sweep is forced sequential and a single ring is
+// reused across jobs via Reset, so tracing costs one allocation total.
+func runSweep(wf *cli.WorkloadFlags, mode string, n, scavengers int, hwAssist bool, traceN, seeds, parallel int) error {
+	if mode == "dual" && scavengers+1 > wf.Instances {
+		return fmt.Errorf("dual mode needs %d instances (1 primary + %d scavengers); pass -instances", scavengers+1, scavengers)
+	}
+	var ring *trace.Ring
+	if traceN > 0 {
+		ring = trace.NewRing(traceN)
+		parallel = 1
+	}
+	spec, err := cli.SpecByName(wf.Workload, wf.Instances)
+	if err != nil {
+		return err
+	}
+	part := spec.Name()
+
+	var jobs []runner.Job
+	for i := 0; i < seeds; i++ {
+		mach := core.DefaultMachine()
+		mach.Seed = wf.Seed + int64(i)*7919
+		jobs = append(jobs, runner.Job{
+			ID:   fmt.Sprintf("%s/%s/seed=%d", wf.Workload, mode, mach.Seed),
+			Mach: mach,
+			Run: func(m core.Machine) (*experiments.Result, error) {
+				h, err := core.NewHarness(m, spec)
+				if err != nil {
+					return nil, err
+				}
+				if ring != nil {
+					ring.Reset()
+				}
+				st, err := execute(h, h.Baseline(), part, mode, n, scavengers, hwAssist, ring)
+				if err != nil {
+					return nil, err
+				}
+				res := &experiments.Result{ID: "shrun", Metrics: map[string]float64{
+					"cycles":     float64(st.Cycles),
+					"efficiency": st.Efficiency(),
+					"stall_frac": st.StallFraction(),
+					"switches":   float64(st.Switches),
+					"ipc":        st.IPC(),
+				}}
+				if mode == "dual" {
+					res.Metrics["primary_latency"] = float64(st.PrimaryLatency)
+					res.Metrics["episodes"] = float64(st.Episodes)
+				}
+				return res, nil
+			},
+		})
+	}
+
+	results, err := runner.Run(context.Background(), jobs, runner.Options{Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable(fmt.Sprintf("%s/%s over %d seeds", wf.Workload, mode, seeds),
+		"seed", "cycles", "efficiency", "IPC")
+	samples := map[string][]float64{}
+	for _, r := range results {
+		m := r.Res.Metrics
+		tb.Row(r.Job.Mach.Seed, uint64(m["cycles"]), m["efficiency"], m["ipc"])
+		for k, v := range m {
+			samples[k] = append(samples[k], v)
+		}
+	}
+	fmt.Print(tb.String())
+	cyc := stats.Summarize(samples["cycles"])
+	eff := stats.Summarize(samples["efficiency"])
+	fmt.Printf("cycles %0.f ± %.0f, efficiency %.3f ± %.3f (all results validated)\n",
+		cyc.Mean, cyc.Stddev, eff.Mean, eff.Stddev)
+	if ring != nil {
+		fmt.Printf("trace (last seed): %s\n", ring.Summary())
 	}
 	return nil
 }

@@ -13,21 +13,30 @@
 // cost, miss latency, stall cycles, sampling noise) is a first-class
 // simulated quantity.
 //
-// The pipeline follows the paper's three steps:
+// The entry point is a Session, which owns the machine description and
+// execution policy (parallelism, result cache, tracing). The pipeline
+// follows the paper's three steps:
 //
-//	h, _ := repro.NewHarness(repro.DefaultMachine(),
+//	s, _ := repro.NewSession()
+//	h, img, _ := s.Pipeline("chase", repro.DefaultPipelineOptions(), // steps (i)+(ii)
 //	    repro.PointerChase{Nodes: 8192, Hops: 3000, Instances: 8})
-//	prof, _, _ := h.Profile("chase")                          // §3.2 step (i)
-//	img, _ := h.Instrument(prof, repro.DefaultPipelineOptions()) // step (ii)
 //	ts, _ := h.Tasks(img, "chase", repro.Primary, 8)
-//	stats, _ := h.NewExecutor(img, repro.ExecConfig{}).RunSymmetric(ts.Tasks) // step (iii)
+//	stats, _ := s.NewExecutor(h, img, repro.ExecConfig{}).RunSymmetric(ts.Tasks) // step (iii)
 //
 // Dual-mode asymmetric concurrency (§3.3) runs one latency-sensitive
 // primary against scavenger coroutines:
 //
-//	st, _ := h.NewExecutor(img, repro.ExecConfig{}).RunDualMode(primary, scavengers)
+//	st, _ := s.NewExecutor(h, img, repro.ExecConfig{}).RunDualMode(primary, scavengers)
+//
+// Experiment sweeps fan out over a deterministic parallel runner
+// (results return in presentation order at any parallelism, cached
+// cells are served without simulating):
+//
+//	s, _ = repro.NewSession(repro.WithParallelism(8), repro.WithCache(""))
+//	results, _ := s.RunAll(context.Background()) // all of F1, E1–E20
 //
 // The package-level bench harness (go test -bench .) and cmd/shbench
 // regenerate every table and figure of the evaluation; see DESIGN.md and
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. The flat pre-Session surface (NewHarness,
+// LookupExperiment, ...) remains as a deprecated compatibility layer.
 package repro

@@ -1,6 +1,8 @@
 // Quickstart: the complete softhide pipeline on a pointer chase, in ~40
 // lines of library calls — profile in "production", instrument the binary,
-// interleave coroutines, and watch the memory stalls disappear.
+// interleave coroutines, and watch the memory stalls disappear. Built on
+// the Session API: the session owns the machine and execution policy,
+// Pipeline runs the paper's profile→instrument steps in one call.
 package main
 
 import (
@@ -11,38 +13,35 @@ import (
 )
 
 func main() {
-	// A DRAM-resident pointer chase: 8192 nodes × 64 B is 512 KiB against
-	// a 256 KiB simulated LLC, and every hop depends on the previous one.
-	const n = 8
-	h, err := repro.NewHarness(repro.DefaultMachine(),
-		repro.PointerChase{Nodes: 8192, Hops: 2000, Instances: n})
+	s, err := repro.NewSession() // reference machine, sequential
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// A DRAM-resident pointer chase: 8192 nodes × 64 B is 512 KiB against
+	// a 256 KiB simulated LLC, and every hop depends on the previous one.
+	const n = 8
+	spec := repro.PointerChase{Nodes: 8192, Hops: 2000, Instances: n}
+
 	// Baseline: run the original binary, one coroutine, and eat every miss.
+	h, err := s.NewHarness(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	base := h.Baseline()
 	ts, err := h.Tasks(base, "chase", repro.Primary, n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	before, err := h.NewExecutor(base, repro.ExecConfig{}).RunSymmetric(ts.Tasks)
+	before, err := s.NewExecutor(h, base, repro.ExecConfig{}).RunSymmetric(ts.Tasks)
 	if err != nil {
 		log.Fatal(err)
 	}
 	must(ts.Validate())
 
-	// Step (i): sample-based profiling — where do stalls come from?
-	prof, sampler, err := h.Profile("chase")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("profiling: %d PEBS samples over %d load sites\n",
-		len(sampler.Samples), len(prof.Sites))
-
-	// Step (ii): profile-guided binary rewriting — prefetch+yield before
-	// the loads the profile says miss, conditional yields for scavengers.
-	img, err := h.Instrument(prof, repro.DefaultPipelineOptions())
+	// Steps (i)+(ii): sample-based profiling, then profile-guided binary
+	// rewriting — prefetch+yield before the loads the profile says miss.
+	h, img, err := s.Pipeline("chase", repro.DefaultPipelineOptions(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := h.NewExecutor(img, repro.ExecConfig{}).RunSymmetric(ts.Tasks)
+	after, err := s.NewExecutor(h, img, repro.ExecConfig{}).RunSymmetric(ts.Tasks)
 	if err != nil {
 		log.Fatal(err)
 	}

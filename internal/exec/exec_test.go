@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -387,6 +388,44 @@ func TestTracerReceivesSchedulingEvents(t *testing.T) {
 		if evs[i].Now < evs[i-1].Now {
 			t.Fatalf("events out of order at %d", i)
 		}
+	}
+}
+
+// The nil-tracer fast path: a run without a tracer must produce exactly
+// the same statistics as a traced run (tracing observes, never perturbs),
+// and a tracer reused across runs via Reset must see each run in
+// isolation.
+func TestNilTracerFastPathAndRingReuse(t *testing.T) {
+	run := func(tracer trace.Tracer) Stats {
+		core, m := newMachine(t, testImage, 1<<20)
+		head := buildChain(m, 128, 21)
+		p := chaseTask(core, m, 0, 100, head)
+		scav := scavTask(core, m, 1, 1_000_000)
+		cfg := DefaultConfig()
+		cfg.Tracer = tracer
+		st, err := New(core, cfg).RunDualMode(p, []*Task{scav})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	ring := trace.NewRing(1 << 16)
+	traced := run(ring)
+	untraced := run(nil)
+	if fmt.Sprintf("%+v", traced) != fmt.Sprintf("%+v", untraced) {
+		t.Errorf("tracing perturbed the run:\ntraced   %+v\nuntraced %+v", traced, untraced)
+	}
+	firstTotal := ring.Total()
+	if firstTotal == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	ring.Reset()
+	rerun := run(ring)
+	if fmt.Sprintf("%+v", rerun) != fmt.Sprintf("%+v", traced) {
+		t.Errorf("rerun after Reset diverged: %+v vs %+v", rerun, traced)
+	}
+	if ring.Total() != firstTotal {
+		t.Errorf("reused ring saw %d events, first run saw %d", ring.Total(), firstTotal)
 	}
 }
 

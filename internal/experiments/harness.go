@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -130,6 +131,27 @@ func Lookup(id string) (Runner, bool) {
 		}
 	}
 	return nil, false
+}
+
+// UnknownIDError reports a failed experiment lookup. Its message lists
+// every valid ID so a mistyped -exp value is immediately actionable.
+type UnknownIDError struct {
+	ID string
+}
+
+func (e *UnknownIDError) Error() string {
+	return fmt.Sprintf("unknown experiment %q; valid IDs: %s",
+		e.ID, strings.Join(IDs(), ", "))
+}
+
+// MustLookup resolves an ID or returns an *UnknownIDError naming every
+// valid choice.
+func MustLookup(id string) (Runner, error) {
+	r, ok := Lookup(id)
+	if !ok {
+		return nil, &UnknownIDError{ID: id}
+	}
+	return r, nil
 }
 
 // IDs lists all experiment IDs in order.

@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Config sizes the cache hierarchy and fixes its latencies in cycles.
 // Defaults model a contemporary server core at 3 GHz: L1 hits absorbable by
@@ -128,6 +131,8 @@ type Hierarchy struct {
 	l3  *cache
 
 	fills map[uint64]inflight // line address -> outstanding fill
+	// due is reclaim's reusable scratch buffer.
+	due []uint64
 
 	// recent holds the last few accessed line addresses for stream
 	// detection (hardware prefetcher).
@@ -281,12 +286,21 @@ func (h *Hierarchy) Prefetch(addr, now uint64) (Level, uint64) {
 }
 
 // reclaim installs completed fills into the caches and frees their MSHRs.
+// Installs happen in ascending line order: map iteration order is
+// randomized per process, and install order decides evictions, so
+// iterating the map directly would make simulations nondeterministic
+// across runs (and break the runner's byte-identical-output guarantee).
 func (h *Hierarchy) reclaim(now uint64) {
+	h.due = h.due[:0]
 	for ln, f := range h.fills {
 		if f.completion <= now {
-			h.installAll(ln)
-			delete(h.fills, ln)
+			h.due = append(h.due, ln)
 		}
+	}
+	slices.Sort(h.due)
+	for _, ln := range h.due {
+		h.installAll(ln)
+		delete(h.fills, ln)
 	}
 }
 

@@ -1,0 +1,225 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// render produces the caller-visible bytes of a sweep: tables, notes and
+// metrics in presentation order — exactly what shbench prints.
+func render(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString(r.Res.String())
+		b.WriteString(r.Res.MetricsString())
+	}
+	return b.String()
+}
+
+func sweep(t *testing.T, parallelism int, cache *Cache) []Result {
+	t.Helper()
+	jobs, err := Jobs([]string{"E1", "E12", "E13"}, core.DefaultMachine(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 9 {
+		t.Fatalf("expanded %d jobs, want 9", len(jobs))
+	}
+	results, err := Run(context.Background(), jobs, Options{Parallelism: parallelism, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// The tentpole property: a 3-experiment × 3-seed sweep renders
+// byte-identically at -parallel 1 and -parallel 8.
+func TestParallelSweepIsDeterministic(t *testing.T) {
+	seq := render(sweep(t, 1, nil))
+	par := render(sweep(t, 8, nil))
+	if seq != par {
+		t.Errorf("parallel sweep diverged from sequential:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "### E1") || !strings.Contains(seq, "### E13") {
+		t.Errorf("sweep output incomplete:\n%s", seq)
+	}
+}
+
+// A warm cache must satisfy the entire second sweep without simulating
+// anything: every job a hit, zero Run invocations, identical bytes.
+func TestWarmCacheSkipsSimulation(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := sweep(t, 4, cache)
+	for _, r := range cold {
+		if r.CacheHit {
+			t.Fatalf("%s hit a cache that should be cold", r.Job.ID)
+		}
+	}
+
+	// Re-expand the jobs but count actual simulator entries.
+	var simulated atomic.Int64
+	jobs, err := Jobs([]string{"E1", "E12", "E13"}, core.DefaultMachine(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		inner := jobs[i].Run
+		jobs[i].Run = func(m core.Machine) (*experiments.Result, error) {
+			simulated.Add(1)
+			return inner(m)
+		}
+	}
+	warm, err := Run(context.Background(), jobs, Options{Parallelism: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := simulated.Load(); n != 0 {
+		t.Errorf("warm sweep re-simulated %d jobs, want 0", n)
+	}
+	for _, r := range warm {
+		if !r.CacheHit {
+			t.Errorf("%s (seed %d) missed a warm cache", r.Job.ID, r.Job.Mach.Seed)
+		}
+	}
+	if render(cold) != render(warm) {
+		t.Error("cached results render differently from computed ones")
+	}
+	if cache.Hits() != 9 {
+		t.Errorf("cache hits = %d, want 9", cache.Hits())
+	}
+}
+
+// Different machines and different experiments must never collide.
+func TestCacheKeySeparatesCells(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.DefaultMachine()
+	k1, err := cache.Key(Job{ID: "E1", Mach: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := base
+	other.Seed++
+	k2, _ := cache.Key(Job{ID: "E1", Mach: other})
+	k3, _ := cache.Key(Job{ID: "E2", Mach: base})
+	shrunk := base
+	shrunk.Mem.L1Size /= 2
+	k4, _ := cache.Key(Job{ID: "E1", Mach: shrunk})
+	seen := map[string]bool{k1: true, k2: true, k3: true, k4: true}
+	if len(seen) != 4 {
+		t.Errorf("cache keys collide: %v %v %v %v", k1, k2, k3, k4)
+	}
+	// Same cell, same key.
+	again, _ := cache.Key(Job{ID: "E1", Mach: core.DefaultMachine()})
+	if again != k1 {
+		t.Error("identical jobs produced different keys")
+	}
+}
+
+// Non-cacheable jobs must bypass the cache entirely.
+func TestNonCacheableJobsBypassCache(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	job := Job{ID: "custom", Mach: core.DefaultMachine(), Run: func(core.Machine) (*experiments.Result, error) {
+		calls.Add(1)
+		return &experiments.Result{ID: "custom", Metrics: map[string]float64{"x": 1}}, nil
+	}}
+	for i := 0; i < 2; i++ {
+		if _, err := Run(context.Background(), []Job{job}, Options{Cache: cache}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("non-cacheable job ran %d times, want 2", calls.Load())
+	}
+}
+
+// Stream must deliver results in submission order even when completion
+// order is scrambled, and progress must count every job.
+func TestStreamOrderAndProgress(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 16; i++ {
+		i := i
+		jobs = append(jobs, Job{ID: fmt.Sprintf("J%02d", i), Mach: core.Machine{Seed: int64(i)},
+			Run: func(core.Machine) (*experiments.Result, error) {
+				return &experiments.Result{ID: fmt.Sprintf("J%02d", i)}, nil
+			}})
+	}
+	var order []int
+	var progressed atomic.Int64
+	err := Stream(context.Background(), jobs, Options{
+		Parallelism: 8,
+		Progress:    func(done, total int, r Result) { progressed.Add(1) },
+	}, func(r Result) error {
+		order = append(order, r.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seq := range order {
+		if i != seq {
+			t.Fatalf("emission order broken at %d: %v", i, order)
+		}
+	}
+	if len(order) != 16 || progressed.Load() != 16 {
+		t.Errorf("emitted %d, progressed %d, want 16/16", len(order), progressed.Load())
+	}
+}
+
+func TestJobErrorCancelsSweep(t *testing.T) {
+	boom := errors.New("boom")
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		i := i
+		jobs = append(jobs, Job{ID: fmt.Sprintf("J%d", i), Run: func(core.Machine) (*experiments.Result, error) {
+			if i == 3 {
+				return nil, boom
+			}
+			return &experiments.Result{}, nil
+		}})
+	}
+	_, err := Run(context.Background(), jobs, Options{Parallelism: 2})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "J3") {
+		t.Errorf("error does not name the failing job: %v", err)
+	}
+}
+
+func TestJobsRejectsUnknownIDs(t *testing.T) {
+	_, err := Jobs([]string{"E1", "Z9"}, core.DefaultMachine(), 1)
+	var unknown *experiments.UnknownIDError
+	if !errors.As(err, &unknown) || unknown.ID != "Z9" {
+		t.Fatalf("err = %v, want UnknownIDError for Z9", err)
+	}
+	if !strings.Contains(err.Error(), "E20") {
+		t.Errorf("error should list valid IDs: %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []Job{{ID: "E1", Mach: core.DefaultMachine(), Cacheable: true}}
+	_, err := Run(ctx, jobs, Options{})
+	if err == nil {
+		t.Error("cancelled context should surface an error")
+	}
+}

@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -132,6 +133,30 @@ func (t *Table) String() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// tableJSON is the serialized form of a Table. Rows travel as the
+// already-formatted cell strings, so a decoded table renders exactly the
+// bytes the original produced — the property the result cache relies on.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON implements json.Marshaler, including the unexported rows.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{Title: t.Title, Headers: t.Headers, Rows: t.rows})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	t.Title, t.Headers, t.rows = tj.Title, tj.Headers, tj.Rows
+	return nil
 }
 
 // Ratio formats a/b as "x.xx×", guarding division by zero.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"strings"
@@ -91,6 +92,26 @@ func TestRatio(t *testing.T) {
 	}
 	if Ratio(1, 0) != "inf" {
 		t.Error("division by zero not guarded")
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("cache demo", "name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("beta", 42)
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tb.String() {
+		t.Errorf("round trip changed rendering:\n%s\nvs\n%s", back.String(), tb.String())
+	}
+	if back.Markdown() != tb.Markdown() {
+		t.Error("round trip changed markdown rendering")
 	}
 }
 

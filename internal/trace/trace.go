@@ -1,7 +1,17 @@
 // Package trace records executor-level scheduling events — switches,
 // yields, hide episodes, halts — into a bounded ring for debugging and
 // for inspecting dual-mode behaviour. The runtime emits events through
-// the Tracer interface; a nil tracer costs one branch.
+// the Tracer interface.
+//
+// # The nil-tracer fast path
+//
+// Tracing is off by default: an exec.Config with a nil Tracer is the
+// common case, and every emission site in the executor guards the
+// interface call with a single nil check (see Executor.emit). No Event
+// is constructed and nothing escapes to the heap on that path, so an
+// untraced run pays one predictable branch per scheduling event and
+// nothing more. Code that emits events must preserve this property:
+// never build an Event before checking the tracer for nil.
 package trace
 
 import (
@@ -102,6 +112,15 @@ func (r *Ring) Emit(e Event) {
 
 // Total returns the number of events ever emitted.
 func (r *Ring) Total() uint64 { return r.total }
+
+// Reset empties the ring without reallocating its buffer, so a single
+// Ring can be reused across executor runs (the parallel runner resets
+// per-job tracers instead of constructing new ones).
+func (r *Ring) Reset() {
+	r.pos = 0
+	r.full = false
+	r.total = 0
+}
 
 // Events returns the retained events, oldest first.
 func (r *Ring) Events() []Event {

@@ -72,6 +72,23 @@ func TestKindStrings(t *testing.T) {
 	}
 }
 
+func TestRingReset(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Kind: SwitchOut, Now: uint64(i)})
+	}
+	r.Reset()
+	if len(r.Events()) != 0 || r.Total() != 0 {
+		t.Errorf("reset ring not empty: %d events, total %d", len(r.Events()), r.Total())
+	}
+	// The ring must behave exactly like a fresh one after Reset.
+	r.Emit(Event{Kind: Halt, Now: 100})
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Now != 100 || r.Total() != 1 {
+		t.Errorf("reused ring wrong: %v total=%d", evs, r.Total())
+	}
+}
+
 func TestNewRingMinimumSize(t *testing.T) {
 	r := NewRing(0)
 	r.Emit(Event{Kind: Halt})

@@ -1,0 +1,211 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Session is the package's cohesive entry point: it owns the machine
+// description, experiment lookup and execution policy (parallelism,
+// result cache, tracing), and hands out harnesses bound to that
+// machine. A zero-configuration session runs the reference machine
+// sequentially:
+//
+//	s, _ := repro.NewSession()
+//	results, _ := s.RunAll(context.Background())
+//
+// A sweep session fans out over a worker pool and caches results:
+//
+//	s, _ := repro.NewSession(
+//	    repro.WithSeed(42),
+//	    repro.WithParallelism(8),
+//	    repro.WithCache(""),        // "" = ~/.cache/softhide
+//	)
+type Session struct {
+	mach        Machine
+	parallelism int
+	cache       *runner.Cache
+	tracer      trace.Tracer
+}
+
+// Option configures a Session under construction.
+type Option func(*sessionConfig)
+
+type sessionConfig struct {
+	mach        Machine
+	seed        *int64
+	parallelism int
+	cacheDir    *string
+	tracer      trace.Tracer
+}
+
+// WithMachine replaces the reference machine wholesale.
+func WithMachine(m Machine) Option {
+	return func(c *sessionConfig) { c.mach = m }
+}
+
+// WithSeed overrides the scenario seed (applied after WithMachine).
+func WithSeed(seed int64) Option {
+	return func(c *sessionConfig) { c.seed = &seed }
+}
+
+// WithParallelism bounds the worker pool used by RunAll and Sweep.
+// n < 1 selects GOMAXPROCS; the default is 1 (fully sequential).
+func WithParallelism(n int) Option {
+	return func(c *sessionConfig) { c.parallelism = n }
+}
+
+// WithCache enables the content-addressed result cache in dir; an empty
+// dir selects the conventional location (~/.cache/softhide).
+func WithCache(dir string) Option {
+	return func(c *sessionConfig) { c.cacheDir = &dir }
+}
+
+// WithTracer installs a scheduling-event tracer that NewExecutor wires
+// into every executor the session builds (unless the ExecConfig already
+// carries one). See NewTraceRing.
+func WithTracer(t Tracer) Option {
+	return func(c *sessionConfig) { c.tracer = t }
+}
+
+// NewSession builds a session over the reference machine, then applies
+// the options in order.
+func NewSession(opts ...Option) (*Session, error) {
+	cfg := sessionConfig{mach: core.DefaultMachine(), parallelism: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.seed != nil {
+		cfg.mach.Seed = *cfg.seed
+	}
+	s := &Session{mach: cfg.mach, parallelism: cfg.parallelism, tracer: cfg.tracer}
+	if cfg.cacheDir != nil {
+		dir := *cfg.cacheDir
+		if dir == "" {
+			var err error
+			if dir, err = runner.DefaultDir(); err != nil {
+				return nil, err
+			}
+		}
+		cache, err := runner.OpenCache(dir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cache
+	}
+	return s, nil
+}
+
+// Machine returns the session's machine description (by value; mutating
+// the copy does not affect the session).
+func (s *Session) Machine() Machine { return s.mach }
+
+// CacheDir returns the result-cache directory, or "" when caching is
+// disabled.
+func (s *Session) CacheDir() string {
+	if s.cache == nil {
+		return ""
+	}
+	return s.cache.Dir()
+}
+
+// NewHarness composes workload specs over the session's machine.
+func (s *Session) NewHarness(specs ...workloads.Spec) (*Harness, error) {
+	return core.NewHarness(s.mach, specs...)
+}
+
+// NewExecutor builds an executor over an image, injecting the session's
+// tracer when the config does not already carry one.
+func (s *Session) NewExecutor(h *Harness, img *Image, cfg ExecConfig) *Executor {
+	if cfg.Tracer == nil {
+		cfg.Tracer = s.tracer
+	}
+	return h.NewExecutor(img, cfg)
+}
+
+// ExperimentIDs lists every registered experiment in presentation order.
+func (s *Session) ExperimentIDs() []string { return ExperimentIDs() }
+
+// Run executes one experiment on the session's machine (consulting the
+// cache when enabled).
+func (s *Session) Run(ctx context.Context, id string) (*ExperimentResult, error) {
+	results, err := s.RunAll(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// RunAll executes the named experiments — all of them when ids is
+// empty — on the session's machine, fanned out over the session's
+// worker pool, and returns results in presentation order regardless of
+// parallelism. Cached cells are served without simulating.
+func (s *Session) RunAll(ctx context.Context, ids ...string) ([]*ExperimentResult, error) {
+	rs, err := s.Sweep(ctx, ids, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ExperimentResult, len(rs))
+	for i, r := range rs {
+		out[i] = r.Res
+	}
+	return out, nil
+}
+
+// RunReport is one job's outcome in a Sweep: the experiment result plus
+// execution metadata (wall clock, cache hit).
+type RunReport = runner.Result
+
+// Sweep runs every experiment × seed cell (seeds ≥ 1; seed i runs on
+// Seed + i*7919) and returns per-job reports in deterministic
+// presentation order.
+func (s *Session) Sweep(ctx context.Context, ids []string, seeds int) ([]RunReport, error) {
+	if len(ids) == 0 {
+		ids = ExperimentIDs()
+	}
+	jobs, err := runner.Jobs(ids, s.mach, seeds)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(ctx, jobs, runner.Options{Parallelism: s.parallelism, Cache: s.cache})
+}
+
+// Pipeline is the session-level convenience for the paper's three-step
+// flow on a single workload part: profile it, instrument the binary,
+// and return the harness plus instrumented image ready for execution.
+func (s *Session) Pipeline(part string, opts PipelineOptions, specs ...workloads.Spec) (*Harness, *Image, error) {
+	h, err := s.NewHarness(specs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, _, err := h.Profile(part)
+	if err != nil {
+		return nil, nil, err
+	}
+	img, err := h.Instrument(prof, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("instrumenting %s: %w", part, err)
+	}
+	return h, img, nil
+}
+
+// ---- Tracing surface (internal/trace) ----
+
+type (
+	// Tracer receives executor scheduling events; nil disables tracing
+	// at the cost of one branch per event.
+	Tracer = trace.Tracer
+	// TraceRing is a bounded in-memory tracer; Reset reuses it across
+	// runs without reallocating.
+	TraceRing = trace.Ring
+	// TraceEvent is one scheduling occurrence.
+	TraceEvent = trace.Event
+)
+
+// NewTraceRing creates a tracer retaining up to n events.
+func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }

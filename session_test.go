@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSessionDefaults(t *testing.T) {
+	s, err := NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine().Seed != DefaultMachine().Seed {
+		t.Error("default session machine differs from DefaultMachine")
+	}
+	if s.CacheDir() != "" {
+		t.Error("cache enabled without WithCache")
+	}
+	if len(s.ExperimentIDs()) < 20 {
+		t.Errorf("experiment registry short: %v", s.ExperimentIDs())
+	}
+}
+
+func TestSessionOptions(t *testing.T) {
+	m := DefaultMachine()
+	m.MemBytes = 128 << 20
+	s, err := NewSession(WithMachine(m), WithSeed(99), WithParallelism(4), WithCache(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine().Seed != 99 {
+		t.Errorf("seed = %d, want 99 (WithSeed applies after WithMachine)", s.Machine().Seed)
+	}
+	if s.Machine().MemBytes != 128<<20 {
+		t.Error("WithMachine lost")
+	}
+	if s.CacheDir() == "" {
+		t.Error("WithCache ignored")
+	}
+}
+
+func TestSessionRunAllDeterministicAndCached(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	seq, err := NewSession(WithCache(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := seq.RunAll(ctx, "E1", "E13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewSession(WithCache(dir), WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.RunAll(ctx, "E1", "E13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("result counts: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String()+a[i].MetricsString() != b[i].String()+b[i].MetricsString() {
+			t.Errorf("result %d diverged between sequential and parallel sessions", i)
+		}
+	}
+	// The second session ran entirely from the first session's cache.
+	reports, err := par.Sweep(ctx, []string{"E1", "E13"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.CacheHit {
+			t.Errorf("%s not served from warm cache", r.Job.ID)
+		}
+	}
+}
+
+func TestSessionRunUnknownID(t *testing.T) {
+	s, err := NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(context.Background(), "Z9")
+	if err == nil || !strings.Contains(err.Error(), "valid IDs") {
+		t.Errorf("unknown ID error unhelpful: %v", err)
+	}
+}
+
+func TestSessionPipelineAndTracer(t *testing.T) {
+	ring := NewTraceRing(1 << 12)
+	s, err := NewSession(WithTracer(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, img, err := s.Pipeline("chase", DefaultPipelineOptions(),
+		PointerChase{Nodes: 2048, Hops: 500, Instances: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Pipe == nil || img.Pipe.Primary.Yields == 0 {
+		t.Fatal("pipeline did not instrument")
+	}
+	ts, err := h.Tasks(img, "chase", Primary, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.NewExecutor(h, img, ExecConfig{}).RunSymmetric(ts.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles == 0 {
+		t.Error("empty stats")
+	}
+	if ring.Total() == 0 {
+		t.Error("session tracer saw no events")
+	}
+}
