@@ -12,6 +12,8 @@
 //	shbench -metrics               # also dump flat metrics (machine-readable)
 //	shbench -seeds 5 -parallel 8   # 5-seed stability sweep on 8 workers
 //	shbench -cache -progress       # cache results, report live progress
+//	shbench -cpuprofile cpu.out    # profile the run (go tool pprof cpu.out)
+//	shbench -memprofile mem.out    # heap profile written on exit
 package main
 
 import (
@@ -20,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -56,6 +60,8 @@ func main() {
 	flag.BoolVar(&o.progress, "progress", false, "report per-job completion on stderr")
 	flag.BoolVar(&o.cache, "cache", false, "serve and store results in the content-addressed cache")
 	flag.StringVar(&o.cacheDir, "cache-dir", "", "cache directory (implies -cache; default ~/.cache/softhide)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -64,7 +70,37 @@ func main() {
 		}
 		return
 	}
-	if err := run(context.Background(), os.Stdout, os.Stderr, o); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "shbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(context.Background(), os.Stdout, os.Stderr, o)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "shbench:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // flush unreached objects so the profile shows live heap
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fmt.Fprintln(os.Stderr, "shbench:", werr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "shbench:", err)
 		os.Exit(1)
 	}

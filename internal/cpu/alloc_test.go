@@ -1,0 +1,80 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/coro"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// TestStepSteadyStateAllocFree guards the tentpole property on the core:
+// once warmed up, stepping instructions — loads and stores included —
+// performs zero heap allocations.
+func TestStepSteadyStateAllocFree(t *testing.T) {
+	prog := isa.MustAssemble(`
+        movi r1, 0
+        movi r2, 4096
+    loop:
+        add   r4, r1, r2    ; address in [4096, 8192): clear of the null guard
+        load  r3, [r4]
+        store [r4+8], r3
+        addi  r1, r1, 64
+        andi  r1, r1, 0xFFF
+        jmp   loop
+    `)
+	m := mem.NewMemory(1 << 20)
+	h := mem.MustNewHierarchy(mem.DefaultConfig())
+	core := MustNewCore(DefaultConfig(), prog, m, h)
+	ctx := coro.NewContext(0, 0, m.Size()-8)
+
+	var res StepResult
+	// Warm-up: past cold caches and any first-use growth.
+	for i := 0; i < 2000; i++ {
+		if err := core.StepInto(ctx, false, &res); err != nil {
+			t.Fatalf("warm-up step %d: %v", i, err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := core.StepInto(ctx, false, &res); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkCoreStep measures the bare per-instruction step cost in steady
+// state. Run with -benchmem: the expectation is 0 allocs/op.
+func BenchmarkCoreStep(b *testing.B) {
+	prog := isa.MustAssemble(`
+        movi r1, 0
+        movi r2, 4096
+    loop:
+        add   r4, r1, r2
+        load  r3, [r4]
+        store [r4+8], r3
+        addi  r1, r1, 64
+        andi  r1, r1, 0xFFF
+        jmp   loop
+    `)
+	m := mem.NewMemory(1 << 20)
+	h := mem.MustNewHierarchy(mem.DefaultConfig())
+	core := MustNewCore(DefaultConfig(), prog, m, h)
+	ctx := coro.NewContext(0, 0, m.Size()-8)
+
+	var res StepResult
+	for i := 0; i < 2000; i++ {
+		if err := core.StepInto(ctx, false, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.StepInto(ctx, false, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

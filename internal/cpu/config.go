@@ -78,6 +78,16 @@ func (c Config) Validate() error {
 // The instrumentation pipeline uses it for static latency estimates.
 func (c Config) BusyCost(op isa.Op) uint64 { return c.busyCost(op) }
 
+// costTable precomputes busyCost for every opcode. The core indexes it
+// per retired instruction instead of re-deriving the class switch.
+func (c Config) costTable() [isa.NumOps]uint64 {
+	var t [isa.NumOps]uint64
+	for op := 0; op < isa.NumOps; op++ {
+		t[op] = c.busyCost(isa.Op(op))
+	}
+	return t
+}
+
 // busyCost returns the base cost of an opcode (memory latency excluded).
 func (c Config) busyCost(op isa.Op) uint64 {
 	switch op {

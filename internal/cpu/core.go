@@ -37,6 +37,14 @@ type Core struct {
 	Now      uint64
 	Counters *Counters
 
+	// instrs aliases Prog.Instrs; fetching through it saves a dependent
+	// pointer load per step.
+	instrs []isa.Instr
+
+	// costs caches Cfg's per-opcode busy cost so Step indexes an array
+	// instead of running the cost-model switch on every instruction.
+	costs [isa.NumOps]uint64
+
 	observers    []Observer
 	lastBranchAt uint64 // clock of the previous taken transfer (LBR delta base)
 }
@@ -54,6 +62,8 @@ func NewCore(cfg Config, prog *isa.Program, m *mem.Memory, h *mem.Hierarchy) (*C
 		Prog:     prog,
 		Mem:      m,
 		Hier:     h,
+		instrs:   prog.Instrs,
+		costs:    cfg.costTable(),
 		Counters: NewCounters(len(prog.Instrs)),
 	}, nil
 }
@@ -106,15 +116,27 @@ func sign(a, b int64) int {
 // only and the exposed stall is returned in the result for the executor to
 // model as a blocked hardware context.
 func (c *Core) Step(ctx *coro.Context, block bool) (StepResult, error) {
+	var res StepResult
+	err := c.StepInto(ctx, block, &res)
+	return res, err
+}
+
+// StepInto is Step writing into a caller-provided result. Executor loops
+// reuse one StepResult across iterations instead of copying the struct
+// out of the core on every retired instruction; semantics are identical
+// to Step.
+func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 	if ctx.Halted {
-		return StepResult{}, &Fault{ctx.ID, ctx.PC, fmt.Errorf("stepping a halted context")}
+		*res = StepResult{}
+		return &Fault{ctx.ID, ctx.PC, fmt.Errorf("stepping a halted context")}
 	}
 	pc := ctx.PC
-	if pc < 0 || pc >= len(c.Prog.Instrs) {
-		return StepResult{}, &Fault{ctx.ID, pc, fmt.Errorf("pc out of range")}
+	if pc < 0 || pc >= len(c.instrs) {
+		*res = StepResult{}
+		return &Fault{ctx.ID, pc, fmt.Errorf("pc out of range")}
 	}
-	in := c.Prog.Instrs[pc]
-	res := StepResult{PC: pc, Op: in.Op, Busy: c.Cfg.busyCost(in.Op)}
+	in := &c.instrs[pc]
+	*res = StepResult{PC: pc, Op: in.Op, Busy: c.costs[in.Op]}
 	next := pc + 1
 	takenBranch := false
 
@@ -161,17 +183,17 @@ func (c *Core) Step(ctx *coro.Context, block bool) (StepResult, error) {
 	case isa.OpLoad, isa.OpStore:
 		addr := regs[in.Rs1] + uint64(in.Imm)
 		acc := c.Hier.AccessW(addr, c.Now, in.Op == isa.OpStore)
-		applyMem(&res, acc, c.Cfg.PipelineAbsorb)
+		applyMem(res, acc, c.Cfg.PipelineAbsorb)
 		if in.Op == isa.OpLoad {
 			v, err := c.Mem.Read64(addr)
 			if err != nil {
-				return res, &Fault{ctx.ID, pc, err}
+				return &Fault{ctx.ID, pc, err}
 			}
 			regs[in.Rd] = v
 			c.Counters.Loads[pc]++
 		} else {
 			if err := c.Mem.Write64(addr, regs[in.Rs2]); err != nil {
-				return res, &Fault{ctx.ID, pc, err}
+				return &Fault{ctx.ID, pc, err}
 			}
 			c.Counters.Stores[pc]++
 		}
@@ -198,9 +220,9 @@ func (c *Core) Step(ctx *coro.Context, block bool) (StepResult, error) {
 	case isa.OpCall:
 		sp := regs[isa.SP] - 8
 		if err := c.Mem.Write64(sp, uint64(pc+1)); err != nil {
-			return res, &Fault{ctx.ID, pc, fmt.Errorf("call push: %w", err)}
+			return &Fault{ctx.ID, pc, fmt.Errorf("call push: %w", err)}
 		}
-		applyMem(&res, c.Hier.Access(sp, c.Now), c.Cfg.PipelineAbsorb)
+		applyMem(res, c.Hier.Access(sp, c.Now), c.Cfg.PipelineAbsorb)
 		regs[isa.SP] = sp
 		next = in.Target()
 		takenBranch = true
@@ -208,12 +230,12 @@ func (c *Core) Step(ctx *coro.Context, block bool) (StepResult, error) {
 		sp := regs[isa.SP]
 		ra, err := c.Mem.Read64(sp)
 		if err != nil {
-			return res, &Fault{ctx.ID, pc, fmt.Errorf("ret pop: %w", err)}
+			return &Fault{ctx.ID, pc, fmt.Errorf("ret pop: %w", err)}
 		}
-		applyMem(&res, c.Hier.Access(sp, c.Now), c.Cfg.PipelineAbsorb)
+		applyMem(res, c.Hier.Access(sp, c.Now), c.Cfg.PipelineAbsorb)
 		regs[isa.SP] = sp + 8
-		if ra >= uint64(len(c.Prog.Instrs)) {
-			return res, &Fault{ctx.ID, pc, fmt.Errorf("ret to invalid address %d", ra)}
+		if ra >= uint64(len(c.instrs)) {
+			return &Fault{ctx.ID, pc, fmt.Errorf("ret to invalid address %d", ra)}
 		}
 		next = int(ra)
 		takenBranch = true
@@ -237,7 +259,7 @@ func (c *Core) Step(ctx *coro.Context, block bool) (StepResult, error) {
 		if c.Cfg.SandboxHi > c.Cfg.SandboxLo {
 			addr := regs[in.Rs1] + uint64(in.Imm)
 			if addr < c.Cfg.SandboxLo || addr+8 > c.Cfg.SandboxHi {
-				return res, &Fault{ctx.ID, pc, fmt.Errorf("SFI trap: %#x outside [%#x,%#x)", addr, c.Cfg.SandboxLo, c.Cfg.SandboxHi)}
+				return &Fault{ctx.ID, pc, fmt.Errorf("SFI trap: %#x outside [%#x,%#x)", addr, c.Cfg.SandboxLo, c.Cfg.SandboxHi)}
 			}
 		}
 
@@ -245,7 +267,7 @@ func (c *Core) Step(ctx *coro.Context, block bool) (StepResult, error) {
 		addr := regs[in.Rs1] + uint64(in.Imm)
 		v, err := isa.AccelChecksum(c.Mem, addr)
 		if err != nil {
-			return res, &Fault{ctx.ID, pc, err}
+			return &Fault{ctx.ID, pc, err}
 		}
 		ctx.AccelResult = v
 		ctx.AccelPending = true
@@ -267,7 +289,7 @@ func (c *Core) Step(ctx *coro.Context, block bool) (StepResult, error) {
 		ctx.Result = regs[1]
 
 	default:
-		return res, &Fault{ctx.ID, pc, fmt.Errorf("unimplemented opcode %v", in.Op)}
+		return &Fault{ctx.ID, pc, fmt.Errorf("unimplemented opcode %v", in.Op)}
 	}
 
 	// Clock and accounting.
@@ -315,7 +337,7 @@ func (c *Core) Step(ctx *coro.Context, block bool) (StepResult, error) {
 	if takenBranch {
 		c.lastBranchAt = c.Now
 	}
-	return res, nil
+	return nil
 }
 
 // applyMem folds a memory access into the step's busy/stall split: up to

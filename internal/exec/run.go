@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/coro"
+	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -14,12 +15,13 @@ import (
 func (e *Executor) RunSolo(t *Task) (Stats, error) {
 	start := e.Core.Now
 	var steps uint64
+	var r cpu.StepResult
 	for !t.Ctx.Halted {
 		if steps >= e.Cfg.MaxSteps {
 			return Stats{}, ErrFuelExhausted
 		}
 		steps++
-		if _, err := e.Core.Step(t.Ctx, false); err != nil {
+		if err := e.Core.StepInto(t.Ctx, false, &r); err != nil {
 			return Stats{}, err
 		}
 	}
@@ -44,6 +46,7 @@ func (e *Executor) RunSymmetric(tasks []*Task) (Stats, error) {
 	cur := 0
 	running := len(tasks)
 	var steps uint64
+	var r cpu.StepResult
 	latencies := make([]uint64, len(tasks))
 	e.resume(tasks[cur])
 	for running > 0 {
@@ -52,8 +55,7 @@ func (e *Executor) RunSymmetric(tasks []*Task) (Stats, error) {
 		}
 		steps++
 		t := tasks[cur]
-		r, err := e.Core.Step(t.Ctx, false)
-		if err != nil {
+		if err := e.Core.StepInto(t.Ctx, false, &r); err != nil {
 			return Stats{}, err
 		}
 		switch {
@@ -152,13 +154,13 @@ func (e *Executor) RunDualMode(primary *Task, scavengers []*Task) (Stats, error)
 	}
 
 	var steps uint64
+	var r cpu.StepResult
 	for {
 		if steps >= e.Cfg.MaxSteps {
 			return Stats{}, ErrFuelExhausted
 		}
 		steps++
-		r, err := e.Core.Step(cur.Ctx, false)
-		if err != nil {
+		if err := e.Core.StepInto(cur.Ctx, false, &r); err != nil {
 			return Stats{}, err
 		}
 
@@ -295,6 +297,7 @@ func (e *Executor) RunWindowed(stream []*Task, width int) (Stats, error) {
 	}
 	cur := 0
 	var steps uint64
+	var r cpu.StepResult
 	e.resume(window[cur])
 	for len(window) > 0 {
 		if steps >= e.Cfg.MaxSteps {
@@ -302,8 +305,7 @@ func (e *Executor) RunWindowed(stream []*Task, width int) (Stats, error) {
 		}
 		steps++
 		t := window[cur]
-		r, err := e.Core.Step(t.Ctx, false)
-		if err != nil {
+		if err := e.Core.StepInto(t.Ctx, false, &r); err != nil {
 			return Stats{}, err
 		}
 		switch {

@@ -1,0 +1,465 @@
+package mem
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// This file pins the flat-MSHR/packed-LRU hierarchy to the PR 1 reference
+// implementation: a map-keyed MSHR file with a sorted reclaim scratch, and
+// stamp-based LRU caches probed with a lookup walk followed by an install
+// walk. The reference below is that implementation, kept verbatim modulo
+// renames. The differential test drives both models with identical random
+// operation streams and demands identical observable behavior: every
+// AccessResult, every Prefetch/Residual/Contains return, and the final
+// Stats.
+
+type refInflight struct {
+	completion uint64
+	level      Level
+}
+
+type refCache struct {
+	sets     uint64
+	ways     int
+	lineBits uint
+	tags     []uint64
+	lru      []uint64
+	dirty    []bool
+	stamp    uint64
+}
+
+func newRefCache(sizeBytes, lineSize uint64, ways int) *refCache {
+	lines := sizeBytes / lineSize
+	sets := lines / uint64(ways)
+	if sets == 0 {
+		sets = 1
+	}
+	lb := uint(0)
+	for s := lineSize; s > 1; s >>= 1 {
+		lb++
+	}
+	return &refCache{
+		sets:     sets,
+		ways:     ways,
+		lineBits: lb,
+		tags:     make([]uint64, sets*uint64(ways)),
+		lru:      make([]uint64, sets*uint64(ways)),
+		dirty:    make([]bool, sets*uint64(ways)),
+	}
+}
+
+func (c *refCache) line(addr uint64) uint64 { return addr >> c.lineBits }
+
+func (c *refCache) lookup(addr uint64) bool {
+	ln := c.line(addr) + 1
+	base := ((ln - 1) % c.sets) * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == ln {
+			c.stamp++
+			c.lru[base+uint64(w)] = c.stamp
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refCache) contains(addr uint64) bool {
+	ln := c.line(addr) + 1
+	base := ((ln - 1) % c.sets) * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == ln {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refCache) install(addr uint64) (evicted uint64, didEvict, wasDirty bool) {
+	ln := c.line(addr) + 1
+	base := ((ln - 1) % c.sets) * uint64(c.ways)
+	victim := 0
+	var victimStamp uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		t := c.tags[base+uint64(w)]
+		if t == ln { // already present
+			c.stamp++
+			c.lru[base+uint64(w)] = c.stamp
+			return 0, false, false
+		}
+		if t == 0 { // free way
+			c.stamp++
+			c.tags[base+uint64(w)] = ln
+			c.lru[base+uint64(w)] = c.stamp
+			c.dirty[base+uint64(w)] = false
+			return 0, false, false
+		}
+		if c.lru[base+uint64(w)] < victimStamp {
+			victimStamp = c.lru[base+uint64(w)]
+			victim = w
+		}
+	}
+	old := c.tags[base+uint64(victim)] - 1
+	dirty := c.dirty[base+uint64(victim)]
+	c.stamp++
+	c.tags[base+uint64(victim)] = ln
+	c.lru[base+uint64(victim)] = c.stamp
+	c.dirty[base+uint64(victim)] = false
+	return old << c.lineBits, true, dirty
+}
+
+func (c *refCache) markDirty(addr uint64) {
+	ln := c.line(addr) + 1
+	base := ((ln - 1) % c.sets) * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == ln {
+			c.dirty[base+uint64(w)] = true
+			return
+		}
+	}
+}
+
+func (c *refCache) flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+		c.dirty[i] = false
+	}
+	c.stamp = 0
+}
+
+type refHierarchy struct {
+	cfg       Config
+	l1        *refCache
+	l2        *refCache
+	l3        *refCache
+	fills     map[uint64]refInflight
+	due       []uint64
+	recent    [8]uint64
+	recentPos int
+	Stats     Stats
+}
+
+func newRefHierarchy(cfg Config) *refHierarchy {
+	return &refHierarchy{
+		cfg:   cfg,
+		l1:    newRefCache(cfg.L1Size, cfg.LineSize, cfg.L1Ways),
+		l2:    newRefCache(cfg.L2Size, cfg.LineSize, cfg.L2Ways),
+		l3:    newRefCache(cfg.L3Size, cfg.LineSize, cfg.L3Ways),
+		fills: make(map[uint64]refInflight),
+	}
+}
+
+func (h *refHierarchy) lineAddr(addr uint64) uint64 { return addr &^ (h.cfg.LineSize - 1) }
+
+func (h *refHierarchy) AccessW(addr, now uint64, write bool) AccessResult {
+	ln := h.lineAddr(addr)
+	h.streamDetect(ln, now)
+
+	if f, ok := h.fills[ln]; ok {
+		delete(h.fills, ln)
+		wb := h.installAll(ln)
+		res := AccessResult{Level: LevelInflight, MissedL2: f.level == LevelL3 || f.level == LevelDRAM}
+		if f.completion <= now {
+			res.Latency = h.cfg.LatL1
+			h.Stats.InflightFull++
+		} else {
+			res.Latency = f.completion - now
+			if res.Latency < h.cfg.LatL1 {
+				res.Latency = h.cfg.LatL1
+			}
+		}
+		res.Latency += wb
+		if write {
+			h.l1.markDirty(ln)
+		}
+		h.Stats.Accesses[LevelInflight]++
+		return res
+	}
+
+	var lvl Level
+	switch {
+	case h.l1.lookup(ln):
+		lvl = LevelL1
+	case h.l2.lookup(ln):
+		lvl = LevelL2
+	case h.l3.lookup(ln):
+		lvl = LevelL3
+	default:
+		lvl = LevelDRAM
+	}
+	wb := h.installAll(ln)
+	if write {
+		h.l1.markDirty(ln)
+	}
+	h.Stats.Accesses[lvl]++
+	return AccessResult{
+		Latency:  h.cfg.Latency(lvl) + wb,
+		Level:    lvl,
+		MissedL2: lvl == LevelL3 || lvl == LevelDRAM,
+	}
+}
+
+func (h *refHierarchy) Prefetch(addr, now uint64) (Level, uint64) {
+	ln := h.lineAddr(addr)
+	if _, ok := h.fills[ln]; ok {
+		h.Stats.PrefetchHits++
+		return LevelInflight, now
+	}
+	if h.l1.contains(ln) {
+		h.Stats.PrefetchHits++
+		h.l1.lookup(ln)
+		return LevelL1, now
+	}
+	if h.cfg.MaxInflight > 0 && len(h.fills) >= h.cfg.MaxInflight {
+		h.reclaim(now)
+	}
+	if h.cfg.MaxInflight > 0 && len(h.fills) >= h.cfg.MaxInflight {
+		h.Stats.MSHRDrops++
+		return LevelDRAM, now
+	}
+	var lvl Level
+	switch {
+	case h.l2.contains(ln):
+		lvl = LevelL2
+	case h.l3.contains(ln):
+		lvl = LevelL3
+	default:
+		lvl = LevelDRAM
+	}
+	completion := now + h.cfg.Latency(lvl)
+	h.fills[ln] = refInflight{completion: completion, level: lvl}
+	h.Stats.Prefetches++
+	return lvl, completion
+}
+
+func (h *refHierarchy) reclaim(now uint64) {
+	h.due = h.due[:0]
+	for ln, f := range h.fills {
+		if f.completion <= now {
+			h.due = append(h.due, ln)
+		}
+	}
+	slices.Sort(h.due)
+	for _, ln := range h.due {
+		h.installAll(ln)
+		delete(h.fills, ln)
+	}
+}
+
+func (h *refHierarchy) streamDetect(ln, now uint64) {
+	dist := h.cfg.HWPrefetchDistance
+	if dist > 0 && ln >= h.cfg.LineSize {
+		prev := ln - h.cfg.LineSize
+		for _, r := range h.recent {
+			if r == prev+1 {
+				for d := 1; d <= dist; d++ {
+					h.hwPrefetch(ln+uint64(d)*h.cfg.LineSize, now)
+				}
+				break
+			}
+		}
+	}
+	h.recent[h.recentPos] = ln + 1
+	h.recentPos = (h.recentPos + 1) % len(h.recent)
+}
+
+func (h *refHierarchy) hwPrefetch(ln, now uint64) {
+	if _, ok := h.fills[ln]; ok {
+		return
+	}
+	if h.l1.contains(ln) {
+		return
+	}
+	if h.cfg.MaxInflight > 0 && len(h.fills) >= h.cfg.MaxInflight {
+		h.reclaim(now)
+		if len(h.fills) >= h.cfg.MaxInflight {
+			h.Stats.MSHRDrops++
+			return
+		}
+	}
+	var lvl Level
+	switch {
+	case h.l2.contains(ln):
+		lvl = LevelL2
+	case h.l3.contains(ln):
+		lvl = LevelL3
+	default:
+		lvl = LevelDRAM
+	}
+	h.fills[ln] = refInflight{completion: now + h.cfg.Latency(lvl), level: lvl}
+	h.Stats.HWPrefetches++
+}
+
+func (h *refHierarchy) Residual(addr, now uint64) uint64 {
+	if f, ok := h.fills[h.lineAddr(addr)]; ok && f.completion > now {
+		return f.completion - now
+	}
+	return 0
+}
+
+func (h *refHierarchy) Contains(addr, now uint64, level Level) bool {
+	ln := h.lineAddr(addr)
+	if f, ok := h.fills[ln]; ok && f.completion <= now {
+		return true
+	}
+	if h.l1.contains(ln) {
+		return true
+	}
+	if level >= LevelL2 && h.l2.contains(ln) {
+		return true
+	}
+	if level >= LevelL3 && h.l3.contains(ln) {
+		return true
+	}
+	return false
+}
+
+func (h *refHierarchy) Touch(addr uint64) { h.installAll(h.lineAddr(addr)) }
+
+func (h *refHierarchy) Flush() {
+	h.l1.flush()
+	h.l2.flush()
+	h.l3.flush()
+	h.fills = make(map[uint64]refInflight)
+	h.recent = [8]uint64{}
+	h.recentPos = 0
+}
+
+func (h *refHierarchy) installAll(ln uint64) uint64 {
+	_, _, dirty := h.l1.install(ln)
+	h.l2.install(ln)
+	h.l3.install(ln)
+	if dirty {
+		h.Stats.Writebacks++
+		return h.cfg.WritebackPenalty
+	}
+	return 0
+}
+
+// differentialConfigs are the machine shapes the random streams run
+// against: conflict-heavy tiny caches, the reference-machine way mix, a
+// tight MSHR budget, an unlimited one, a disabled stream prefetcher, and
+// a >16-way shape that exercises the stamp fallback path.
+func differentialConfigs() map[string]Config {
+	tiny := Config{
+		LineSize: 64,
+		L1Size:   512, L1Ways: 2,
+		L2Size: 2048, L2Ways: 4,
+		L3Size: 8192, L3Ways: 4,
+		LatL1: 4, LatL2: 14, LatL3: 50, LatDRAM: 300,
+		WritebackPenalty:   12,
+		MaxInflight:        8,
+		HWPrefetchDistance: 4,
+	}
+	deflike := DefaultConfig()
+	deflike.L1Size = 4 << 10
+	deflike.L2Size = 32 << 10
+	deflike.L3Size = 256 << 10
+
+	tightMSHR := tiny
+	tightMSHR.MaxInflight = 2
+
+	unlimited := tiny
+	unlimited.MaxInflight = 0
+
+	noStream := tiny
+	noStream.HWPrefetchDistance = 0
+
+	wide := Config{
+		LineSize: 64,
+		L1Size:   64 * 24 * 2, L1Ways: 24, // 24 ways > 16: stamp fallback
+		L2Size: 64 * 24 * 8, L2Ways: 24,
+		L3Size: 64 * 32 * 16, L3Ways: 32,
+		LatL1: 4, LatL2: 14, LatL3: 50, LatDRAM: 300,
+		WritebackPenalty:   12,
+		MaxInflight:        8,
+		HWPrefetchDistance: 4,
+	}
+	return map[string]Config{
+		"tiny":      tiny,
+		"deflike":   deflike,
+		"tightMSHR": tightMSHR,
+		"unlimited": unlimited,
+		"noStream":  noStream,
+		"wideWays":  wide,
+	}
+}
+
+// TestDifferentialAgainstMapModel drives the production hierarchy and the
+// PR 1 reference through identical random operation streams and requires
+// identical outputs at every step.
+func TestDifferentialAgainstMapModel(t *testing.T) {
+	for name, cfg := range differentialConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				h := MustNewHierarchy(cfg)
+				ref := newRefHierarchy(cfg)
+				rng := rand.New(rand.NewSource(seed))
+				now := uint64(0)
+				// Address pool small enough to force conflicts and
+				// evictions; includes ascending runs to trigger the
+				// stream prefetcher.
+				addr := func() uint64 { return uint64(rng.Intn(1 << 14)) }
+				for op := 0; op < 20000; op++ {
+					now += uint64(rng.Intn(40))
+					switch k := rng.Intn(100); {
+					case k < 45: // demand access, some writes
+						a := addr()
+						write := rng.Intn(4) == 0
+						got := h.AccessW(a, now, write)
+						want := ref.AccessW(a, now, write)
+						if got != want {
+							t.Fatalf("seed %d op %d: AccessW(%#x, %d, %v) = %+v, ref %+v",
+								seed, op, a, now, write, got, want)
+						}
+					case k < 60: // short ascending run (stream food)
+						base := addr() &^ (cfg.LineSize - 1)
+						for j := uint64(0); j < 3; j++ {
+							a := base + j*cfg.LineSize
+							got := h.AccessW(a, now, false)
+							want := ref.AccessW(a, now, false)
+							if got != want {
+								t.Fatalf("seed %d op %d: scan AccessW(%#x) = %+v, ref %+v",
+									seed, op, a, got, want)
+							}
+						}
+					case k < 75: // software prefetch
+						a := addr()
+						gl, gc := h.Prefetch(a, now)
+						wl, wc := ref.Prefetch(a, now)
+						if gl != wl || gc != wc {
+							t.Fatalf("seed %d op %d: Prefetch(%#x, %d) = (%v,%d), ref (%v,%d)",
+								seed, op, a, now, gl, gc, wl, wc)
+						}
+					case k < 85: // residual probe
+						a := addr()
+						if got, want := h.Residual(a, now), ref.Residual(a, now); got != want {
+							t.Fatalf("seed %d op %d: Residual(%#x, %d) = %d, ref %d",
+								seed, op, a, now, got, want)
+						}
+					case k < 95: // presence probe
+						a := addr()
+						lvl := Level(rng.Intn(3))
+						if got, want := h.Contains(a, now, lvl), ref.Contains(a, now, lvl); got != want {
+							t.Fatalf("seed %d op %d: Contains(%#x, %d, %v) = %v, ref %v",
+								seed, op, a, now, lvl, got, want)
+						}
+					case k < 98: // warm a line
+						a := addr()
+						h.Touch(a)
+						ref.Touch(a)
+					default: // rare full flush
+						h.Flush()
+						ref.Flush()
+					}
+				}
+				if h.Stats != ref.Stats {
+					t.Fatalf("seed %d: final stats diverged:\n got %+v\n ref %+v", seed, h.Stats, ref.Stats)
+				}
+			}
+		})
+	}
+}

@@ -1,9 +1,6 @@
 package mem
 
-import (
-	"fmt"
-	"slices"
-)
+import "fmt"
 
 // Config sizes the cache hierarchy and fixes its latencies in cycles.
 // Defaults model a contemporary server core at 3 GHz: L1 hits absorbable by
@@ -116,12 +113,6 @@ func (s *Stats) Total() uint64 {
 	return t
 }
 
-// inflight records one outstanding fill started by a prefetch.
-type inflight struct {
-	completion uint64 // cycle at which the line arrives
-	level      Level  // level that is servicing the fill
-}
-
 // Hierarchy is the three-level cache model. All methods take the current
 // global cycle `now`; callers must present non-decreasing timestamps.
 type Hierarchy struct {
@@ -130,9 +121,15 @@ type Hierarchy struct {
 	l2  *cache
 	l3  *cache
 
-	fills map[uint64]inflight // line address -> outstanding fill
-	// due is reclaim's reusable scratch buffer.
-	due []uint64
+	// lineShift is log2(LineSize); the demand path computes each line's
+	// tag once and hands it to all three cache probes.
+	lineShift uint
+	// lat caches Config.Latency per level so the demand path indexes an
+	// array instead of running the level switch.
+	lat [NumLevels]uint64
+
+	// fills is the flat MSHR file of outstanding fills (see fillTable).
+	fills fillTable
 
 	// recent holds the last few accessed line addresses for stream
 	// detection (hardware prefetcher).
@@ -147,13 +144,18 @@ func NewHierarchy(cfg Config) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Hierarchy{
+	h := &Hierarchy{
 		cfg:   cfg,
 		l1:    newCache(cfg.L1Size, cfg.LineSize, cfg.L1Ways),
 		l2:    newCache(cfg.L2Size, cfg.LineSize, cfg.L2Ways),
 		l3:    newCache(cfg.L3Size, cfg.LineSize, cfg.L3Ways),
-		fills: make(map[uint64]inflight),
-	}, nil
+		fills: newFillTable(cfg.MaxInflight),
+	}
+	h.lineShift = h.l1.lineBits
+	for l := LevelL1; l < Level(NumLevels); l++ {
+		h.lat[l] = cfg.Latency(l)
+	}
+	return h, nil
 }
 
 // MustNewHierarchy panics on configuration errors.
@@ -198,46 +200,54 @@ func (h *Hierarchy) AccessW(addr, now uint64, write bool) AccessResult {
 	ln := h.lineAddr(addr)
 	h.streamDetect(ln, now)
 
-	if f, ok := h.fills[ln]; ok {
-		delete(h.fills, ln)
-		wb := h.installAll(ln)
-		res := AccessResult{Level: LevelInflight, MissedL2: f.level == LevelL3 || f.level == LevelDRAM}
-		if f.completion <= now {
-			// Fill already completed; the access behaves like an L1 hit.
-			res.Latency = h.cfg.LatL1
-			h.Stats.InflightFull++
-		} else {
-			res.Latency = f.completion - now
-			if res.Latency < h.cfg.LatL1 {
+	if len(h.fills.entries) > 0 {
+		if i, ok := h.fills.search(ln); ok {
+			f := h.fills.entries[i]
+			h.fills.removeAt(i)
+			wb := h.install(ln, write)
+			res := AccessResult{Level: LevelInflight, MissedL2: f.level == LevelL3 || f.level == LevelDRAM}
+			if f.completion <= now {
+				// Fill already completed; the access behaves like an L1 hit.
 				res.Latency = h.cfg.LatL1
+				h.Stats.InflightFull++
+			} else {
+				res.Latency = f.completion - now
+				if res.Latency < h.cfg.LatL1 {
+					res.Latency = h.cfg.LatL1
+				}
 			}
+			res.Latency += wb
+			h.Stats.Accesses[LevelInflight]++
+			return res
 		}
-		res.Latency += wb
-		if write {
-			h.l1.markDirty(ln)
-		}
-		h.Stats.Accesses[LevelInflight]++
-		return res
 	}
 
+	// One fused probe per level: hit detection and install/LRU-refresh in
+	// a single set walk (the old code walked each set twice, once to look
+	// up and once to install).
+	tag := (ln >> h.lineShift) + 1
+	h1, dirty := h.l1.access(tag, write)
+	h2, _ := h.l2.access(tag, false)
+	h3, _ := h.l3.access(tag, false)
 	var lvl Level
 	switch {
-	case h.l1.lookup(ln):
+	case h1:
 		lvl = LevelL1
-	case h.l2.lookup(ln):
+	case h2:
 		lvl = LevelL2
-	case h.l3.lookup(ln):
+	case h3:
 		lvl = LevelL3
 	default:
 		lvl = LevelDRAM
 	}
-	wb := h.installAll(ln)
-	if write {
-		h.l1.markDirty(ln)
+	var wb uint64
+	if dirty {
+		h.Stats.Writebacks++
+		wb = h.cfg.WritebackPenalty
 	}
 	h.Stats.Accesses[lvl]++
 	return AccessResult{
-		Latency:  h.cfg.Latency(lvl) + wb,
+		Latency:  h.lat[lvl] + wb,
 		Level:    lvl,
 		MissedL2: lvl == LevelL3 || lvl == LevelDRAM,
 	}
@@ -249,7 +259,7 @@ func (h *Hierarchy) AccessW(addr, now uint64, write bool) AccessResult {
 // no-op.
 func (h *Hierarchy) Prefetch(addr, now uint64) (Level, uint64) {
 	ln := h.lineAddr(addr)
-	if _, ok := h.fills[ln]; ok {
+	if h.fills.has(ln) {
 		h.Stats.PrefetchHits++
 		return LevelInflight, now
 	}
@@ -259,12 +269,12 @@ func (h *Hierarchy) Prefetch(addr, now uint64) (Level, uint64) {
 		h.l1.lookup(ln)
 		return LevelL1, now
 	}
-	if h.cfg.MaxInflight > 0 && len(h.fills) >= h.cfg.MaxInflight {
+	if h.cfg.MaxInflight > 0 && h.fills.len() >= h.cfg.MaxInflight {
 		// MSHRs free at fill completion: reclaim finished entries before
 		// concluding the budget is exhausted.
 		h.reclaim(now)
 	}
-	if h.cfg.MaxInflight > 0 && len(h.fills) >= h.cfg.MaxInflight {
+	if h.cfg.MaxInflight > 0 && h.fills.len() >= h.cfg.MaxInflight {
 		// MSHRs genuinely exhausted: the prefetch is dropped, as on real
 		// cores.
 		h.Stats.MSHRDrops++
@@ -280,28 +290,29 @@ func (h *Hierarchy) Prefetch(addr, now uint64) (Level, uint64) {
 		lvl = LevelDRAM
 	}
 	completion := now + h.cfg.Latency(lvl)
-	h.fills[ln] = inflight{completion: completion, level: lvl}
+	h.fills.insert(ln, completion, lvl)
 	h.Stats.Prefetches++
 	return lvl, completion
 }
 
 // reclaim installs completed fills into the caches and frees their MSHRs.
-// Installs happen in ascending line order: map iteration order is
-// randomized per process, and install order decides evictions, so
-// iterating the map directly would make simulations nondeterministic
-// across runs (and break the runner's byte-identical-output guarantee).
+// Installs happen in ascending line order — install order decides
+// evictions, so it must not depend on anything run-varying (this was the
+// PR 1 nondeterminism fix, which sorted a scratch slice of due lines on
+// every call). The fill table is sorted by line address, so a single
+// in-place compaction walk installs in exactly that order for free.
 func (h *Hierarchy) reclaim(now uint64) {
-	h.due = h.due[:0]
-	for ln, f := range h.fills {
-		if f.completion <= now {
-			h.due = append(h.due, ln)
+	w := 0
+	for i := range h.fills.entries {
+		e := h.fills.entries[i]
+		if e.completion <= now {
+			h.install(e.line, false)
+			continue
 		}
+		h.fills.entries[w] = e
+		w++
 	}
-	slices.Sort(h.due)
-	for _, ln := range h.due {
-		h.installAll(ln)
-		delete(h.fills, ln)
-	}
+	h.fills.entries = h.fills.entries[:w]
 }
 
 // streamDetect implements the hardware next-line prefetcher: if the line
@@ -321,20 +332,20 @@ func (h *Hierarchy) streamDetect(ln, now uint64) {
 		}
 	}
 	h.recent[h.recentPos] = ln + 1
-	h.recentPos = (h.recentPos + 1) % len(h.recent)
+	h.recentPos = (h.recentPos + 1) & (len(h.recent) - 1)
 }
 
 // hwPrefetch starts a fill on behalf of the hardware prefetcher.
 func (h *Hierarchy) hwPrefetch(ln, now uint64) {
-	if _, ok := h.fills[ln]; ok {
+	if h.fills.has(ln) {
 		return
 	}
 	if h.l1.contains(ln) {
 		return
 	}
-	if h.cfg.MaxInflight > 0 && len(h.fills) >= h.cfg.MaxInflight {
+	if h.cfg.MaxInflight > 0 && h.fills.len() >= h.cfg.MaxInflight {
 		h.reclaim(now)
-		if len(h.fills) >= h.cfg.MaxInflight {
+		if h.fills.len() >= h.cfg.MaxInflight {
 			h.Stats.MSHRDrops++
 			return
 		}
@@ -348,7 +359,7 @@ func (h *Hierarchy) hwPrefetch(ln, now uint64) {
 	default:
 		lvl = LevelDRAM
 	}
-	h.fills[ln] = inflight{completion: now + h.cfg.Latency(lvl), level: lvl}
+	h.fills.insert(ln, now+h.cfg.Latency(lvl), lvl)
 	h.Stats.HWPrefetches++
 }
 
@@ -357,7 +368,7 @@ func (h *Hierarchy) hwPrefetch(ln, now uint64) {
 // it already completed). The dual-mode executor uses it to size the hide
 // window after a primary yield.
 func (h *Hierarchy) Residual(addr, now uint64) uint64 {
-	if f, ok := h.fills[h.lineAddr(addr)]; ok && f.completion > now {
+	if f, ok := h.fills.get(h.lineAddr(addr)); ok && f.completion > now {
 		return f.completion - now
 	}
 	return 0
@@ -368,7 +379,7 @@ func (h *Hierarchy) Residual(addr, now uint64) uint64 {
 // This is the §4.1 hardware-assist probe; it does not perturb LRU state.
 func (h *Hierarchy) Contains(addr, now uint64, level Level) bool {
 	ln := h.lineAddr(addr)
-	if f, ok := h.fills[ln]; ok && f.completion <= now {
+	if f, ok := h.fills.get(ln); ok && f.completion <= now {
 		return true
 	}
 	if h.l1.contains(ln) {
@@ -386,16 +397,17 @@ func (h *Hierarchy) Contains(addr, now uint64, level Level) bool {
 // Touch installs the line containing addr in every level without timing
 // effects. Workload builders use it to pre-warm caches deterministically.
 func (h *Hierarchy) Touch(addr uint64) {
-	h.installAll(h.lineAddr(addr))
+	h.install(h.lineAddr(addr), false)
 }
 
 // Flush invalidates all cache levels and drops outstanding fills, e.g.
-// between the profiling run and the measurement run.
+// between the profiling run and the measurement run. Storage (tag arrays,
+// the MSHR file) is reset in place, never reallocated.
 func (h *Hierarchy) Flush() {
 	h.l1.flush()
 	h.l2.flush()
 	h.l3.flush()
-	h.fills = make(map[uint64]inflight)
+	h.fills.reset()
 	h.recent = [8]uint64{}
 	h.recentPos = 0
 }
@@ -403,13 +415,14 @@ func (h *Hierarchy) Flush() {
 // ResetStats zeroes the counters without touching cache state.
 func (h *Hierarchy) ResetStats() { h.Stats = Stats{} }
 
-// installAll fills the line into every level and returns the write-back
-// penalty incurred if L1 had to evict a dirty victim.
-func (h *Hierarchy) installAll(ln uint64) uint64 {
-	_, evicted, dirty := h.l1.install(ln)
-	_ = evicted
-	h.l2.install(ln)
-	h.l3.install(ln)
+// install fills the line into every level (dirtying L1 when write is
+// set) and returns the write-back penalty incurred if L1 had to evict a
+// dirty victim.
+func (h *Hierarchy) install(ln uint64, write bool) uint64 {
+	tag := (ln >> h.lineShift) + 1
+	_, dirty := h.l1.access(tag, write)
+	h.l2.access(tag, false)
+	h.l3.access(tag, false)
 	if dirty {
 		h.Stats.Writebacks++
 		return h.cfg.WritebackPenalty

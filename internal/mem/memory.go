@@ -59,21 +59,28 @@ func (m *Memory) InBounds(addr uint64) bool {
 	return addr >= 8 && addr+8 <= uint64(len(m.data))
 }
 
-// Read64 loads the 8-byte little-endian word at addr.
+// Read64 loads the 8-byte little-endian word at addr. The fault path is
+// outlined so the bounds-checked fast path stays within the inlining
+// budget of the core's load/store dispatch.
 func (m *Memory) Read64(addr uint64) (uint64, error) {
-	if !m.InBounds(addr) {
-		return 0, fmt.Errorf("mem: load fault at %#x (store size %#x)", addr, len(m.data))
+	if m.InBounds(addr) {
+		return binary.LittleEndian.Uint64(m.data[addr:]), nil
 	}
-	return binary.LittleEndian.Uint64(m.data[addr:]), nil
+	return 0, m.fault("load", addr)
 }
 
 // Write64 stores the 8-byte little-endian word v at addr.
 func (m *Memory) Write64(addr, v uint64) error {
-	if !m.InBounds(addr) {
-		return fmt.Errorf("mem: store fault at %#x (store size %#x)", addr, len(m.data))
+	if m.InBounds(addr) {
+		binary.LittleEndian.PutUint64(m.data[addr:], v)
+		return nil
 	}
-	binary.LittleEndian.PutUint64(m.data[addr:], v)
-	return nil
+	return m.fault("store", addr)
+}
+
+//go:noinline
+func (m *Memory) fault(kind string, addr uint64) error {
+	return fmt.Errorf("mem: %s fault at %#x (store size %#x)", kind, addr, len(m.data))
 }
 
 // MustRead64 is Read64 for host-side data construction; it panics on fault.

@@ -136,24 +136,34 @@ type Edge struct {
 // latency of the straight-line region entered at each branch target.
 type LBRStats struct {
 	Edges map[Edge]uint64
-	// BlockCycles accumulates, per region-entry PC, the cycles until the
-	// next taken branch (sum and count, for averaging).
-	BlockCycleSum   map[int]uint64
-	BlockCycleCount map[int]uint64
+	// BlockCycleSum and BlockCycleCount accumulate, per region-entry PC,
+	// the cycles until the next taken branch (sum and count, for
+	// averaging). Branch targets are program counters, so the aggregates
+	// are dense slices indexed by PC — snapshotting the LBR ring stays
+	// allocation-free instead of probing a map per record.
+	BlockCycleSum   []uint64
+	BlockCycleCount []uint64
 }
 
-// NewLBRStats returns empty aggregation state.
-func NewLBRStats() *LBRStats {
+// NewLBRStats returns empty aggregation state for a program of progLen
+// instructions.
+func NewLBRStats(progLen int) *LBRStats {
+	if progLen < 0 {
+		progLen = 0
+	}
 	return &LBRStats{
-		Edges:           make(map[Edge]uint64),
-		BlockCycleSum:   make(map[int]uint64),
-		BlockCycleCount: make(map[int]uint64),
+		Edges:           make(map[Edge]uint64, 64),
+		BlockCycleSum:   make([]uint64, progLen),
+		BlockCycleCount: make([]uint64, progLen),
 	}
 }
 
 // AvgBlockCycles returns the observed mean latency of the region entered
 // at pc, and whether any observation exists.
 func (l *LBRStats) AvgBlockCycles(pc int) (float64, bool) {
+	if pc < 0 || pc >= len(l.BlockCycleCount) {
+		return 0, false
+	}
 	n := l.BlockCycleCount[pc]
 	if n == 0 {
 		return 0, false

@@ -26,7 +26,7 @@ var _ cpu.Observer = (*Sampler)(nil)
 
 // NewSampler creates a sampler for a program of progLen instructions.
 func NewSampler(cfg Config, progLen int) *Sampler {
-	s := &Sampler{cfg: cfg, progLen: progLen, lbr: NewLBRStats()}
+	s := &Sampler{cfg: cfg, progLen: progLen, lbr: NewLBRStats(progLen)}
 	for e := 0; e < NumEvents; e++ {
 		s.countdown[e] = cfg.Periods[e]
 	}
@@ -154,7 +154,7 @@ func (s *Sampler) snapshot() {
 	for i := 0; i < n; i++ {
 		rec := s.ring[(start+i)%len(s.ring)]
 		s.lbr.Edges[Edge{rec.From, rec.To}]++
-		if prevTo >= 0 {
+		if prevTo >= 0 && prevTo < len(s.lbr.BlockCycleSum) {
 			s.lbr.BlockCycleSum[prevTo] += rec.Cycles
 			s.lbr.BlockCycleCount[prevTo]++
 		}

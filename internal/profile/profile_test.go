@@ -70,7 +70,7 @@ func TestMissRateClamped(t *testing.T) {
 }
 
 func TestBuildWithLBR(t *testing.T) {
-	lbr := pebs.NewLBRStats()
+	lbr := pebs.NewLBRStats(16)
 	lbr.Edges[pebs.Edge{From: 10, To: 2}] = 7
 	lbr.BlockCycleSum[2] = 300
 	lbr.BlockCycleCount[2] = 10
@@ -104,7 +104,7 @@ func TestMerge(t *testing.T) {
 		sample(pebs.EvLoadRetired, 5, 100),
 		sample(pebs.EvLoadL2Miss, 5, 40),
 	}, nil)
-	lbr := pebs.NewLBRStats()
+	lbr := pebs.NewLBRStats(16)
 	lbr.Edges[pebs.Edge{From: 8, To: 2}] = 3
 	lbr.BlockCycleSum[2] = 40
 	lbr.BlockCycleCount[2] = 2
@@ -112,7 +112,7 @@ func TestMerge(t *testing.T) {
 		sample(pebs.EvLoadRetired, 5, 100),
 		sample(pebs.EvLoadRetired, 11, 100),
 	}, lbr)
-	lbr2 := pebs.NewLBRStats()
+	lbr2 := pebs.NewLBRStats(16)
 	lbr2.Edges[pebs.Edge{From: 8, To: 2}] = 1
 	lbr2.BlockCycleSum[2] = 60
 	lbr2.BlockCycleCount[2] = 2
@@ -151,7 +151,7 @@ func TestMerge(t *testing.T) {
 }
 
 func TestJSONRoundTrip(t *testing.T) {
-	lbr := pebs.NewLBRStats()
+	lbr := pebs.NewLBRStats(16)
 	lbr.Edges[pebs.Edge{From: 4, To: 1}] = 9
 	lbr.BlockCycleSum[1] = 90
 	lbr.BlockCycleCount[1] = 3

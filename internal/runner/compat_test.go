@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// fixtureDir holds a cache entry written before PR 2's allocation-free
+// hot-path rewrite. The rewrite claims observational equivalence, so the
+// same schema version must keep serving entries cached by the old
+// implementation — and the served bytes must match what the current
+// implementation computes. If the entry misses, the cache key (schema,
+// ID, machine shape) drifted; if the bytes differ, the simulator's
+// observable behaviour changed and cacheSchema should have been bumped.
+//
+// Regenerate deliberately with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/runner -run TestCacheCompat
+const fixtureDir = "testdata/cachefixture"
+
+func compatJob() Job {
+	return Job{ID: "E1", Mach: core.DefaultMachine(), Cacheable: true}
+}
+
+func TestCacheCompatFixture(t *testing.T) {
+	j := compatJob()
+	run, err := experiments.MustLookup(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := run(j.Mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		c, err := OpenCache(fixtureDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(j, fresh); err != nil {
+			t.Fatal(err)
+		}
+		key, _ := c.Key(j)
+		t.Logf("wrote fixture entry %s", key)
+		return
+	}
+
+	c, err := OpenCache(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, ok := c.Get(j)
+	if !ok {
+		key, _ := c.Key(j)
+		t.Fatalf("pre-change cache entry missed (key %s): schema or machine shape drifted without a cacheSchema bump", key)
+	}
+
+	wantJSON, err := json.Marshal(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("freshly computed %s result differs from pre-change cached fixture:\n got: %s\nwant: %s",
+			j.ID, gotJSON, wantJSON)
+	}
+	if fresh.String() != cached.String() {
+		t.Fatalf("rendered table differs from pre-change cached fixture")
+	}
+}

@@ -85,6 +85,7 @@ func Run(core *cpu.Core, cfg Config, ctxs []*coro.Context) (Stats, error) {
 	running := len(ctxs)
 	cur := 0
 	var steps, sliceUsed uint64
+	var r cpu.StepResult
 
 	for running > 0 {
 		if steps >= cfg.MaxSteps {
@@ -121,8 +122,7 @@ func Run(core *cpu.Core, cfg Config, ctxs []*coro.Context) (Stats, error) {
 			continue
 		}
 		steps++
-		r, err := core.Step(ctxs[picked], true)
-		if err != nil {
+		if err := core.StepInto(ctxs[picked], true, &r); err != nil {
 			return Stats{}, err
 		}
 		sliceUsed += r.Busy

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# bench.sh — benchmark-trajectory guardrail for the simulator hot path.
+#
+# Runs the two hot-path benchmarks and compares them against the recorded
+# trajectory in BENCH_PR2.json. The comparison is advisory (machines
+# differ); the hard line it draws is allocation count: steady-state
+# stepping (BenchmarkCoreStep) must report 0 allocs/op, or the
+# allocation-free hot path has regressed.
+#
+# Usage:  scripts/bench.sh [benchtime]     (default 2s; CI uses 1x)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2s}"
+
+echo "== hot-path benchmarks (benchtime=$benchtime) =="
+out=$(go test -run '^$' -bench 'BenchmarkCoreSimulator$' -benchmem -benchtime "$benchtime" .)
+echo "$out"
+step=$(go test -run '^$' -bench 'BenchmarkCoreStep$' -benchmem -benchtime "$benchtime" ./internal/cpu/)
+echo "$step"
+
+echo
+echo "== recorded trajectory (BENCH_PR2.json) =="
+grep -E '"(ns_per_op|allocs_per_op|minstrs_per_sec|speedup)"' BENCH_PR2.json
+
+# Hard check: the steady-state step must not allocate.
+allocs=$(echo "$step" | awk '/BenchmarkCoreStep/ { print $(NF-1) }')
+if [ "${allocs:-1}" != "0" ]; then
+    echo "FAIL: BenchmarkCoreStep reports $allocs allocs/op (want 0)" >&2
+    exit 1
+fi
+echo
+echo "OK: steady-state step is allocation-free (0 allocs/op)"
