@@ -209,6 +209,9 @@ func Experiments() []struct {
 func LookupExperiment(id string) (ExperimentRunner, bool) { return experiments.Lookup(id) }
 
 // ExperimentIDs lists all experiment IDs in order.
+//
+// Deprecated: prefer Session.ExperimentIDs, which keeps experiment
+// discovery next to the session that will run them.
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // ---- ISA (internal/isa), for tools that manipulate binaries ----

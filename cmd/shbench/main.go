@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/runner"
@@ -49,20 +50,22 @@ type options struct {
 }
 
 func main() {
+	fs := flag.NewFlagSet("shbench", flag.ExitOnError)
+	cli.InstallUsage(fs)
 	var o options
-	flag.StringVar(&o.exp, "exp", "all", "comma-separated experiment IDs, or 'all'")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
-	flag.BoolVar(&o.metrics, "metrics", false, "dump flat metrics after each table")
-	flag.Int64Var(&o.seed, "seed", 0, "override the scenario seed (0 keeps the default)")
-	flag.StringVar(&o.format, "format", "text", "text | md (markdown tables for reports)")
-	flag.IntVar(&o.seeds, "seeds", 1, "repeat each experiment across N seeds and summarize metric stability")
-	flag.IntVar(&o.parallel, "parallel", 1, "worker goroutines for the sweep (0 = GOMAXPROCS)")
-	flag.BoolVar(&o.progress, "progress", false, "report per-job completion on stderr")
-	flag.BoolVar(&o.cache, "cache", false, "serve and store results in the content-addressed cache")
-	flag.StringVar(&o.cacheDir, "cache-dir", "", "cache directory (implies -cache; default ~/.cache/softhide)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+	fs.StringVar(&o.exp, "exp", "all", "comma-separated experiment IDs, or 'all'")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	fs.BoolVar(&o.metrics, "metrics", false, "dump flat metrics after each table")
+	fs.Int64Var(&o.seed, "seed", 0, "override the scenario seed (0 keeps the default)")
+	fs.StringVar(&o.format, "format", "text", "text | md (markdown tables for reports)")
+	fs.IntVar(&o.seeds, "seeds", 1, "repeat each experiment across N seeds and summarize metric stability")
+	fs.IntVar(&o.parallel, "parallel", 1, "worker goroutines for the sweep (0 = GOMAXPROCS)")
+	fs.BoolVar(&o.progress, "progress", false, "report per-job completion on stderr")
+	fs.BoolVar(&o.cache, "cache", false, "serve and store results in the content-addressed cache")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "cache directory (implies -cache; default ~/.cache/softhide)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	fs.Parse(os.Args[1:])
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -26,6 +26,7 @@ import (
 
 func main() {
 	fs := flag.NewFlagSet("shinstr", flag.ExitOnError)
+	cli.InstallUsage(fs)
 	var wf cli.WorkloadFlags
 	wf.Register(fs)
 	profPath := fs.String("profile", "", "input profile JSON (required)")

@@ -23,6 +23,7 @@ import (
 
 func main() {
 	fs := flag.NewFlagSet("shprof", flag.ExitOnError)
+	cli.InstallUsage(fs)
 	var wf cli.WorkloadFlags
 	wf.Register(fs)
 	out := fs.String("o", "", "output profile path (default: <workload>.profile.json)")

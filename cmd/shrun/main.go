@@ -5,19 +5,25 @@
 // fails loudly instead of producing plausible numbers.
 //
 // With -seeds N the run fans out across N scenario seeds on the
-// parallel runner and reports per-seed cycles plus metric stability.
+// parallel runner and reports per-seed cycles plus metric stability;
+// -cache serves repeated cells from the content-addressed cache.
+// Observability follows the library's Observe surface: -metrics prints
+// the cycle-domain counter registry, -trace-out writes the retained
+// scheduling events as Chrome trace-event JSON for Perfetto.
 //
 // Usage:
 //
 //	shrun -workload hashjoin -mode symmetric -n 8
 //	shrun -workload hashjoin -image hashjoin.instrumented.img -mode dual -scavengers 4
-//	shrun -workload bst -mode symmetric -n 8 -seeds 5 -parallel 4
+//	shrun -workload bst -mode dual -metrics -trace-out bst.trace.json
+//	shrun -workload bst -mode symmetric -n 8 -seeds 5 -parallel 4 -cache
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,48 +33,126 @@ import (
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
+// options collects everything run needs, so tests can drive it without
+// a process-global flag set.
+type options struct {
+	wf         cli.WorkloadFlags
+	imagePath  string
+	mode       string
+	n          int
+	scavengers int
+	hwAssist   bool
+	traceN     int
+	traceOut   string
+	metrics    bool
+	seeds      int
+	parallel   int
+	cache      bool
+	cacheDir   string
+}
+
 func main() {
 	fs := flag.NewFlagSet("shrun", flag.ExitOnError)
-	var wf cli.WorkloadFlags
-	wf.Register(fs)
-	imagePath := fs.String("image", "", "instrumented image from shinstr (default: uninstrumented baseline)")
-	mode := fs.String("mode", "solo", "solo | symmetric | dual")
-	n := fs.Int("n", 1, "coroutines to run (solo/symmetric)")
-	scavengers := fs.Int("scavengers", 3, "scavenger coroutines (dual mode; instance 0 is the primary)")
-	hwAssist := fs.Bool("hwassist", false, "enable the §4.1 cache-presence probe at primary yields")
-	traceN := fs.Int("trace", 0, "retain and dump the last N scheduling events")
-	seeds := fs.Int("seeds", 1, "run the scenario under N seeds and summarize stability")
-	parallel := fs.Int("parallel", 1, "worker goroutines for the seed sweep (0 = GOMAXPROCS)")
+	cli.InstallUsage(fs)
+	var o options
+	o.wf.Register(fs)
+	fs.StringVar(&o.imagePath, "image", "", "instrumented image from shinstr (default: uninstrumented baseline)")
+	fs.StringVar(&o.mode, "mode", "solo", "solo | symmetric | dual")
+	fs.IntVar(&o.n, "n", 1, "coroutines to run (solo/symmetric)")
+	fs.IntVar(&o.scavengers, "scavengers", 3, "scavenger coroutines (dual mode; instance 0 is the primary)")
+	fs.BoolVar(&o.hwAssist, "hwassist", false, "enable the §4.1 cache-presence probe at primary yields")
+	fs.IntVar(&o.traceN, "trace", 0, "retain and dump the last N scheduling events")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write retained trace events as Chrome trace-event JSON to this file")
+	fs.BoolVar(&o.metrics, "metrics", false, "print the cycle-domain observability counters after the run")
+	fs.IntVar(&o.seeds, "seeds", 1, "run the scenario under N seeds and summarize stability")
+	fs.IntVar(&o.parallel, "parallel", 1, "worker goroutines for the seed sweep (0 = GOMAXPROCS)")
+	fs.BoolVar(&o.cache, "cache", false, "serve and store sweep results in the content-addressed cache")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "cache directory (implies -cache; default ~/.cache/softhide)")
 	fs.Parse(os.Args[1:])
 
-	if err := run(&wf, *imagePath, *mode, *n, *scavengers, *hwAssist, *traceN, *seeds, *parallel); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "shrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wf *cli.WorkloadFlags, imagePath, mode string, n, scavengers int, hwAssist bool, traceN, seeds, parallel int) error {
-	if seeds > 1 {
-		if imagePath != "" {
+// observe bundles the run's observability state: the ring backing both
+// -trace and -trace-out, and the registry backing -metrics.
+type observe struct {
+	ring *trace.Ring
+	reg  *metrics.Registry
+}
+
+func newObserve(o options) observe {
+	var ob observe
+	if n := o.traceN; n > 0 || o.traceOut != "" {
+		if n == 0 {
+			n = 1 << 16 // -trace-out alone: retain a generous window
+		}
+		ob.ring = trace.NewRing(n)
+	}
+	if o.metrics {
+		ob.reg = &metrics.Registry{}
+	}
+	return ob
+}
+
+// finish renders the observability tail of a run: metrics table, trace
+// dump/summary, and the Chrome trace export.
+func (ob observe) finish(w io.Writer, o options, dumpEvents bool) error {
+	if ob.reg != nil {
+		fmt.Fprint(w, ob.reg.Snapshot().Table().String())
+	}
+	if ob.ring == nil {
+		return nil
+	}
+	if dumpEvents && o.traceN > 0 {
+		fmt.Fprintf(w, "\ntrace: %s\n", ob.ring.Summary())
+		if err := ob.ring.Dump(w); err != nil {
+			return err
+		}
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(f, ob.ring.Events(), trace.ChromeTraceOptions{}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace: %d event(s) exported to %s (load in Perfetto / chrome://tracing)\n",
+			ob.ring.Total(), o.traceOut)
+	}
+	return nil
+}
+
+func run(w io.Writer, o options) error {
+	if o.seeds > 1 {
+		if o.imagePath != "" {
 			return fmt.Errorf("-seeds rebuilds the scenario per seed, which invalidates a fixed -image; drop one of them")
 		}
-		return runSweep(wf, mode, n, scavengers, hwAssist, traceN, seeds, parallel)
+		return runSweep(w, o)
 	}
-	if mode == "dual" && scavengers+1 > wf.Instances {
-		return fmt.Errorf("dual mode needs %d instances (1 primary + %d scavengers); pass -instances", scavengers+1, scavengers)
+	if o.mode == "dual" && o.scavengers+1 > o.wf.Instances {
+		return fmt.Errorf("dual mode needs %d instances (1 primary + %d scavengers); pass -instances", o.scavengers+1, o.scavengers)
 	}
-	h, part, err := wf.Harness()
+	h, part, err := o.wf.Harness()
 	if err != nil {
 		return err
 	}
 	img := h.Baseline()
-	if imagePath != "" {
-		f, err := os.Open(imagePath)
+	if o.imagePath != "" {
+		f, err := os.Open(o.imagePath)
 		if err != nil {
 			return err
 		}
@@ -94,47 +178,40 @@ func run(wf *cli.WorkloadFlags, imagePath, mode string, n, scavengers int, hwAss
 		img = &core.Image{Prog: prog, Entries: entries}
 	}
 
-	var ring *trace.Ring
-	if traceN > 0 {
-		ring = trace.NewRing(traceN)
-	}
-	st, err := execute(h, img, part, mode, n, scavengers, hwAssist, ring)
+	ob := newObserve(o)
+	st, err := execute(h, img, part, o, ob)
 	if err != nil {
 		return err
 	}
-	if mode == "dual" {
-		fmt.Printf("primary latency: %d cycles (%.0f ns), %d hide episodes, %d scavenger chains\n",
+	if o.mode == "dual" {
+		fmt.Fprintf(w, "primary latency: %d cycles (%.0f ns), %d hide episodes, %d scavenger chains\n",
 			st.PrimaryLatency, core.NS(float64(st.PrimaryLatency)), st.Episodes, st.ChainSwitches)
-		if hwAssist {
-			fmt.Printf("presence probe skipped %d yields\n", st.HWSkips)
+		if o.hwAssist {
+			fmt.Fprintf(w, "presence probe skipped %d yields\n", st.HWSkips)
 		}
 	}
 
-	fmt.Printf("%s/%s: %d cycles (%.0f ns simulated)\n", wf.Workload, mode, st.Cycles, core.NS(float64(st.Cycles)))
-	fmt.Printf("  efficiency: %.1f%% busy, %.1f%% stalled, %d switches (%d cycles)\n",
+	fmt.Fprintf(w, "%s/%s: %d cycles (%.0f ns simulated)\n", o.wf.Workload, o.mode, st.Cycles, core.NS(float64(st.Cycles)))
+	fmt.Fprintf(w, "  efficiency: %.1f%% busy, %.1f%% stalled, %d switches (%d cycles)\n",
 		st.Efficiency()*100, st.StallFraction()*100, st.Switches, st.Switch)
-	fmt.Printf("  retired:    %d instructions, IPC %.2f\n", st.Retired, st.IPC())
-	fmt.Printf("  results validated against host reference: ok\n")
-	if ring != nil {
-		fmt.Printf("\ntrace: %s\n", ring.Summary())
-		if err := ring.Dump(os.Stdout); err != nil {
-			return err
-		}
-	}
-	return nil
+	fmt.Fprintf(w, "  retired:    %d instructions, IPC %.2f\n", st.Retired, st.IPC())
+	fmt.Fprintf(w, "  results validated against host reference: ok\n")
+	return ob.finish(w, o, true)
 }
 
-// execute runs one scenario under the selected discipline, tracing into
-// ring when non-nil, and validates results against the host reference.
-func execute(h *core.Harness, img *core.Image, part, mode string, n, scavengers int, hwAssist bool, ring *trace.Ring) (exec.Stats, error) {
-	cfg := exec.Config{HWAssist: hwAssist, HWAssistProbeCost: 2}
-	if ring != nil {
-		cfg.Tracer = ring
+// execute runs one scenario under the selected discipline, observing
+// into ob, and validates results against the host reference.
+func execute(h *core.Harness, img *core.Image, part string, o options, ob observe) (exec.Stats, error) {
+	cfg := exec.Config{HWAssist: o.hwAssist, HWAssistProbeCost: 2}
+	if ob.ring != nil {
+		cfg.Tracer = ob.ring
 	}
+	cfg.Metrics = ob.reg
 	ex := h.NewExecutor(img, cfg)
+	defer ex.CaptureMetrics()
 
 	var st exec.Stats
-	switch mode {
+	switch o.mode {
 	case "solo":
 		ts, err := h.Tasks(img, part, coro.Primary, 1)
 		if err != nil {
@@ -145,7 +222,7 @@ func execute(h *core.Harness, img *core.Image, part, mode string, n, scavengers 
 		}
 		return st, ts.Validate()
 	case "symmetric":
-		ts, err := h.Tasks(img, part, coro.Primary, n)
+		ts, err := h.Tasks(img, part, coro.Primary, o.n)
 		if err != nil {
 			return st, err
 		}
@@ -154,7 +231,7 @@ func execute(h *core.Harness, img *core.Image, part, mode string, n, scavengers 
 		}
 		return st, ts.Validate()
 	case "dual":
-		ts, err := h.Tasks(img, part, coro.Primary, scavengers+1)
+		ts, err := h.Tasks(img, part, coro.Primary, o.scavengers+1)
 		if err != nil {
 			return st, err
 		}
@@ -168,44 +245,70 @@ func execute(h *core.Harness, img *core.Image, part, mode string, n, scavengers 
 		}
 		return st, ts.Validate()
 	default:
-		return st, fmt.Errorf("unknown mode %q", mode)
+		return st, fmt.Errorf("unknown mode %q", o.mode)
 	}
 }
 
 // runSweep fans the scenario across seeds on the runner and summarizes.
-// With -trace the sweep is forced sequential and a single ring is
-// reused across jobs via Reset, so tracing costs one allocation total.
-func runSweep(wf *cli.WorkloadFlags, mode string, n, scavengers int, hwAssist bool, traceN, seeds, parallel int) error {
-	if mode == "dual" && scavengers+1 > wf.Instances {
-		return fmt.Errorf("dual mode needs %d instances (1 primary + %d scavengers); pass -instances", scavengers+1, scavengers)
+// With tracing or metrics on, the sweep is forced sequential and one
+// ring/registry pair is reused across jobs via Reset, so observation
+// costs a constant number of allocations total; observed jobs also skip
+// the result cache (a cached cell simulates nothing, so it would leave
+// the counters empty).
+func runSweep(w io.Writer, o options) error {
+	if o.mode == "dual" && o.scavengers+1 > o.wf.Instances {
+		return fmt.Errorf("dual mode needs %d instances (1 primary + %d scavengers); pass -instances", o.scavengers+1, o.scavengers)
 	}
-	var ring *trace.Ring
-	if traceN > 0 {
-		ring = trace.NewRing(traceN)
-		parallel = 1
+	ob := newObserve(o)
+	observed := ob.ring != nil || ob.reg != nil
+	if observed {
+		o.parallel = 1
 	}
-	spec, err := cli.SpecByName(wf.Workload, wf.Instances)
+	spec, err := cli.SpecByName(o.wf.Workload, o.wf.Instances)
 	if err != nil {
 		return err
 	}
 	part := spec.Name()
 
+	var cache *runner.Cache
+	if o.cache || o.cacheDir != "" {
+		if observed {
+			return fmt.Errorf("-cache serves results without simulating, which leaves -metrics/-trace empty; drop one of them")
+		}
+		dir := o.cacheDir
+		if dir == "" {
+			if dir, err = runner.DefaultDir(); err != nil {
+				return err
+			}
+		}
+		if cache, err = runner.OpenCache(dir); err != nil {
+			return err
+		}
+	}
+
 	var jobs []runner.Job
-	for i := 0; i < seeds; i++ {
+	for i := 0; i < o.seeds; i++ {
 		mach := core.DefaultMachine()
-		mach.Seed = wf.Seed + int64(i)*7919
+		mach.Seed = o.wf.Seed + int64(i)*7919
 		jobs = append(jobs, runner.Job{
-			ID:   fmt.Sprintf("%s/%s/seed=%d", wf.Workload, mode, mach.Seed),
-			Mach: mach,
+			// The ID carries every knob the closure reads, so equal IDs
+			// really are the same computation and the cell is cacheable.
+			ID: fmt.Sprintf("shrun/%s/%s/n=%d/scav=%d/hw=%t/inst=%d",
+				o.wf.Workload, o.mode, o.n, o.scavengers, o.hwAssist, o.wf.Instances),
+			Mach:      mach,
+			Cacheable: !observed,
 			Run: func(m core.Machine) (*experiments.Result, error) {
 				h, err := core.NewHarness(m, spec)
 				if err != nil {
 					return nil, err
 				}
-				if ring != nil {
-					ring.Reset()
+				if ob.ring != nil {
+					ob.ring.Reset()
 				}
-				st, err := execute(h, h.Baseline(), part, mode, n, scavengers, hwAssist, ring)
+				if ob.reg != nil {
+					ob.reg.Reset()
+				}
+				st, err := execute(h, h.Baseline(), part, o, ob)
 				if err != nil {
 					return nil, err
 				}
@@ -216,7 +319,7 @@ func runSweep(wf *cli.WorkloadFlags, mode string, n, scavengers int, hwAssist bo
 					"switches":   float64(st.Switches),
 					"ipc":        st.IPC(),
 				}}
-				if mode == "dual" {
+				if o.mode == "dual" {
 					res.Metrics["primary_latency"] = float64(st.PrimaryLatency)
 					res.Metrics["episodes"] = float64(st.Episodes)
 				}
@@ -225,11 +328,11 @@ func runSweep(wf *cli.WorkloadFlags, mode string, n, scavengers int, hwAssist bo
 		})
 	}
 
-	results, err := runner.Run(context.Background(), jobs, runner.Options{Parallelism: parallel})
+	results, err := runner.Run(context.Background(), jobs, runner.Options{Parallelism: o.parallel, Cache: cache})
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable(fmt.Sprintf("%s/%s over %d seeds", wf.Workload, mode, seeds),
+	tb := stats.NewTable(fmt.Sprintf("%s/%s over %d seeds", o.wf.Workload, o.mode, o.seeds),
 		"seed", "cycles", "efficiency", "IPC")
 	samples := map[string][]float64{}
 	for _, r := range results {
@@ -239,13 +342,17 @@ func runSweep(wf *cli.WorkloadFlags, mode string, n, scavengers int, hwAssist bo
 			samples[k] = append(samples[k], v)
 		}
 	}
-	fmt.Print(tb.String())
+	fmt.Fprint(w, tb.String())
 	cyc := stats.Summarize(samples["cycles"])
 	eff := stats.Summarize(samples["efficiency"])
-	fmt.Printf("cycles %0.f ± %.0f, efficiency %.3f ± %.3f (all results validated)\n",
+	fmt.Fprintf(w, "cycles %0.f ± %.0f, efficiency %.3f ± %.3f (all results validated)\n",
 		cyc.Mean, cyc.Stddev, eff.Mean, eff.Stddev)
-	if ring != nil {
-		fmt.Printf("trace (last seed): %s\n", ring.Summary())
+	if cache != nil {
+		fmt.Fprintf(w, "cache: %d hit(s), %d miss(es) under %s\n", cache.Hits(), cache.Misses(), cache.Dir())
 	}
-	return nil
+	if ob.ring != nil && o.traceN > 0 {
+		fmt.Fprintf(w, "trace (last seed): %s\n", ob.ring.Summary())
+	}
+	// The ring/registry hold the last seed's events and counters.
+	return ob.finish(w, o, false)
 }

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func defaults() options {
+	return options{
+		wf:         cli.WorkloadFlags{Workload: "chase", Instances: 4, Seed: 20230626},
+		mode:       "solo",
+		n:          1,
+		scavengers: 3,
+		seeds:      1,
+		parallel:   1,
+	}
+}
+
+func TestRunSoloText(t *testing.T) {
+	var out bytes.Buffer
+	o := defaults()
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "validated against host reference: ok") {
+		t.Errorf("missing validation line:\n%s", out.String())
+	}
+}
+
+func TestRunMetricsTable(t *testing.T) {
+	var out bytes.Buffer
+	o := defaults()
+	o.mode = "dual"
+	o.metrics = true
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"observability", "l1_hits", "retired", "episodes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("metrics table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestTraceOutProducesChromeTraceJSON is the end-to-end acceptance
+// check: a -trace-out run must write JSON that validates against the
+// Chrome trace-event schema's array-of-events form.
+func TestTraceOutProducesChromeTraceJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace.json")
+	var out bytes.Buffer
+	o := defaults()
+	o.mode = "symmetric"
+	o.n = 4
+	o.traceOut = path
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "exported to "+path) {
+		t.Errorf("missing export confirmation:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("-trace-out is not a JSON array of events: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace export")
+	}
+	phases := map[string]int{}
+	for i, ev := range events {
+		if name, ok := ev["name"].(string); !ok || name == "" {
+			t.Fatalf("event %d: missing name: %v", i, ev)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok || (ph != "X" && ph != "i" && ph != "M") {
+			t.Fatalf("event %d: bad phase %v", i, ev["ph"])
+		}
+		phases[ph]++
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d: missing pid: %v", i, ev)
+		}
+		if _, ok := ev["tid"].(float64); !ok {
+			t.Fatalf("event %d: missing tid: %v", i, ev)
+		}
+		if ph != "M" {
+			if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+				t.Fatalf("event %d: missing or negative ts: %v", i, ev)
+			}
+		}
+	}
+	// A symmetric run switches, so instants must be present, plus the
+	// process/thread metadata rows.
+	if phases["i"] == 0 || phases["M"] == 0 {
+		t.Errorf("phase tally %v: want instants and metadata", phases)
+	}
+}
+
+func TestSweepCachedAndIdentified(t *testing.T) {
+	dir := t.TempDir()
+	o := defaults()
+	o.mode = "symmetric"
+	o.n = 4
+	o.seeds = 2
+	o.cacheDir = dir
+	var cold, warm bytes.Buffer
+	if err := run(&cold, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&warm, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold.String(), "0 hit(s), 2 miss(es)") {
+		t.Errorf("cold sweep not 2 misses:\n%s", cold.String())
+	}
+	if !strings.Contains(warm.String(), "2 hit(s), 0 miss(es)") {
+		t.Errorf("warm sweep not served from cache:\n%s", warm.String())
+	}
+	// A different knob must be a different cache key: n changes the job.
+	o.n = 3
+	var other bytes.Buffer
+	if err := run(&other, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(other.String(), "0 hit(s), 2 miss(es)") {
+		t.Errorf("changed -n wrongly served from cache:\n%s", other.String())
+	}
+}
+
+func TestSweepRejectsCachePlusObservation(t *testing.T) {
+	o := defaults()
+	o.seeds = 2
+	o.cache = true
+	o.metrics = true
+	var out bytes.Buffer
+	if err := run(&out, o); err == nil || !strings.Contains(err.Error(), "-metrics") {
+		t.Errorf("cache+metrics sweep must be rejected, got %v", err)
+	}
+}
+
+func TestSweepMetricsAndTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.trace.json")
+	o := defaults()
+	o.mode = "symmetric"
+	o.n = 4
+	o.seeds = 2
+	o.metrics = true
+	o.traceOut = path
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "observability") {
+		t.Errorf("sweep -metrics missing registry table:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("sweep -trace-out invalid: %v", err)
+	}
+}

@@ -35,8 +35,29 @@
 //	s, _ = repro.NewSession(repro.WithParallelism(8), repro.WithCache(""))
 //	results, _ := s.RunAll(context.Background()) // all of F1, E1–E20
 //
+// Observability — tracing, the cycle-domain metrics registry and Chrome
+// trace export — is configured in one option and threaded into every
+// executor the session builds:
+//
+//	ring := repro.NewTraceRing(4096)
+//	reg := &repro.MetricsRegistry{}
+//	s, _ = repro.NewSession(repro.WithObservability(repro.ObservabilityConfig{
+//	    Tracer: ring, Metrics: reg,
+//	}))
+//	// ... run work ...
+//	snap := s.MetricsSnapshot()            // counters + histograms
+//	_ = s.ExportTrace(f, repro.ChromeTraceOptions{}) // Perfetto-loadable JSON
+//
 // The package-level bench harness (go test -bench .) and cmd/shbench
 // regenerate every table and figure of the evaluation; see DESIGN.md and
 // EXPERIMENTS.md. The flat pre-Session surface (NewHarness,
 // LookupExperiment, ...) remains as a deprecated compatibility layer.
+// Migration from that surface:
+//
+//	DefaultMachine()        → NewSession(); Session.Machine (inspect) or WithMachine (replace)
+//	NewHarness(specs...)    → Session.NewHarness(specs...)
+//	Experiments()           → Session.ExperimentIDs() + Session.RunAll(ctx)
+//	LookupExperiment(id)    → Session.Run(ctx, id)
+//	ExperimentIDs()         → Session.ExperimentIDs()
+//	WithTracer(t)           → WithObservability(ObservabilityConfig{Tracer: t})
 package repro

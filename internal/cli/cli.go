@@ -92,6 +92,33 @@ func (w *WorkloadFlags) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&w.Seed, "seed", 20230626, "deterministic scenario seed")
 }
 
+// CanonicalFlags is the cross-tool flag vocabulary: every tool that
+// offers one of these behaviours must spell it exactly this way, so a
+// flag learned on shbench works unchanged on shrun.
+var CanonicalFlags = []struct{ Name, Meaning string }{
+	{"seed", "deterministic scenario seed"},
+	{"seeds", "sweep the scenario across N seeds"},
+	{"parallel", "worker goroutines for sweeps (0 = GOMAXPROCS)"},
+	{"metrics", "print the cycle-domain observability counters"},
+	{"cache", "serve and store results in the content-addressed cache"},
+	{"cache-dir", "cache directory (implies -cache; default ~/.cache/softhide)"},
+	{"trace-out", "write retained trace events as Chrome trace-event JSON"},
+}
+
+// InstallUsage wraps fs.Usage so that help output — including the
+// message printed after an unknown-flag error — ends with the canonical
+// cross-tool flag set.
+func InstallUsage(fs *flag.FlagSet) {
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage of %s:\n", fs.Name())
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\ncanonical flags shared across tools (same name, same meaning):\n")
+		for _, f := range CanonicalFlags {
+			fmt.Fprintf(fs.Output(), "  -%-10s %s\n", f.Name, f.Meaning)
+		}
+	}
+}
+
 // Harness builds the scenario described by the flags.
 func (w *WorkloadFlags) Harness() (*core.Harness, string, error) {
 	spec, err := SpecByName(w.Workload, w.Instances)

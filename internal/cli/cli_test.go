@@ -1,7 +1,9 @@
 package cli
 
 import (
+	"bytes"
 	"flag"
+	"strings"
 	"testing"
 )
 
@@ -65,5 +67,31 @@ func TestEveryNamedWorkloadBuildsAndValidates(t *testing.T) {
 		if h.Sc.Part(part) == nil {
 			t.Errorf("%s: part missing", name)
 		}
+	}
+}
+
+// TestInstallUsageListsCanonicalFlags: the usage text every tool prints
+// — including after an unknown-flag error — must end with the shared
+// cross-tool flag vocabulary.
+func TestInstallUsageListsCanonicalFlags(t *testing.T) {
+	fs := flag.NewFlagSet("shtest", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	var wf WorkloadFlags
+	wf.Register(fs)
+	InstallUsage(fs)
+
+	// Unknown flags route through the usage text.
+	if err := fs.Parse([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+	out := buf.String()
+	for _, f := range CanonicalFlags {
+		if !strings.Contains(out, "-"+f.Name) {
+			t.Errorf("usage missing canonical flag -%s:\n%s", f.Name, out)
+		}
+	}
+	if !strings.Contains(out, "canonical flags shared across tools") {
+		t.Errorf("usage missing canonical-set banner:\n%s", out)
 	}
 }

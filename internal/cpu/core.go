@@ -96,6 +96,13 @@ func (f *Fault) Error() string {
 
 func (f *Fault) Unwrap() error { return f.Err }
 
+// fault counts and constructs an execution fault. Outlined so StepInto's
+// retire path pays nothing for the accounting.
+func (c *Core) fault(ctx, pc int, err error) *Fault {
+	c.Counters.Faults++
+	return &Fault{ctx, pc, err}
+}
+
 func sign(a, b int64) int {
 	switch {
 	case a < b:
@@ -128,12 +135,12 @@ func (c *Core) Step(ctx *coro.Context, block bool) (StepResult, error) {
 func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 	if ctx.Halted {
 		*res = StepResult{}
-		return &Fault{ctx.ID, ctx.PC, fmt.Errorf("stepping a halted context")}
+		return c.fault(ctx.ID, ctx.PC, fmt.Errorf("stepping a halted context"))
 	}
 	pc := ctx.PC
 	if pc < 0 || pc >= len(c.instrs) {
 		*res = StepResult{}
-		return &Fault{ctx.ID, pc, fmt.Errorf("pc out of range")}
+		return c.fault(ctx.ID, pc, fmt.Errorf("pc out of range"))
 	}
 	in := &c.instrs[pc]
 	*res = StepResult{PC: pc, Op: in.Op, Busy: c.costs[in.Op]}
@@ -187,13 +194,13 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 		if in.Op == isa.OpLoad {
 			v, err := c.Mem.Read64(addr)
 			if err != nil {
-				return &Fault{ctx.ID, pc, err}
+				return c.fault(ctx.ID, pc, err)
 			}
 			regs[in.Rd] = v
 			c.Counters.Loads[pc]++
 		} else {
 			if err := c.Mem.Write64(addr, regs[in.Rs2]); err != nil {
-				return &Fault{ctx.ID, pc, err}
+				return c.fault(ctx.ID, pc, err)
 			}
 			c.Counters.Stores[pc]++
 		}
@@ -220,7 +227,7 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 	case isa.OpCall:
 		sp := regs[isa.SP] - 8
 		if err := c.Mem.Write64(sp, uint64(pc+1)); err != nil {
-			return &Fault{ctx.ID, pc, fmt.Errorf("call push: %w", err)}
+			return c.fault(ctx.ID, pc, fmt.Errorf("call push: %w", err))
 		}
 		applyMem(res, c.Hier.Access(sp, c.Now), c.Cfg.PipelineAbsorb)
 		regs[isa.SP] = sp
@@ -230,12 +237,12 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 		sp := regs[isa.SP]
 		ra, err := c.Mem.Read64(sp)
 		if err != nil {
-			return &Fault{ctx.ID, pc, fmt.Errorf("ret pop: %w", err)}
+			return c.fault(ctx.ID, pc, fmt.Errorf("ret pop: %w", err))
 		}
 		applyMem(res, c.Hier.Access(sp, c.Now), c.Cfg.PipelineAbsorb)
 		regs[isa.SP] = sp + 8
 		if ra >= uint64(len(c.instrs)) {
-			return &Fault{ctx.ID, pc, fmt.Errorf("ret to invalid address %d", ra)}
+			return c.fault(ctx.ID, pc, fmt.Errorf("ret to invalid address %d", ra))
 		}
 		next = int(ra)
 		takenBranch = true
@@ -259,7 +266,7 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 		if c.Cfg.SandboxHi > c.Cfg.SandboxLo {
 			addr := regs[in.Rs1] + uint64(in.Imm)
 			if addr < c.Cfg.SandboxLo || addr+8 > c.Cfg.SandboxHi {
-				return &Fault{ctx.ID, pc, fmt.Errorf("SFI trap: %#x outside [%#x,%#x)", addr, c.Cfg.SandboxLo, c.Cfg.SandboxHi)}
+				return c.fault(ctx.ID, pc, fmt.Errorf("SFI trap: %#x outside [%#x,%#x)", addr, c.Cfg.SandboxLo, c.Cfg.SandboxHi))
 			}
 		}
 
@@ -267,7 +274,7 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 		addr := regs[in.Rs1] + uint64(in.Imm)
 		v, err := isa.AccelChecksum(c.Mem, addr)
 		if err != nil {
-			return &Fault{ctx.ID, pc, err}
+			return c.fault(ctx.ID, pc, err)
 		}
 		ctx.AccelResult = v
 		ctx.AccelPending = true
@@ -289,7 +296,7 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 		ctx.Result = regs[1]
 
 	default:
-		return &Fault{ctx.ID, pc, fmt.Errorf("unimplemented opcode %v", in.Op)}
+		return c.fault(ctx.ID, pc, fmt.Errorf("unimplemented opcode %v", in.Op))
 	}
 
 	// Clock and accounting.

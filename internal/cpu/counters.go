@@ -1,6 +1,9 @@
 package cpu
 
-import "repro/internal/mem"
+import (
+	"repro/internal/mem"
+	"repro/internal/metrics"
+)
 
 // Counters are the ground-truth per-PC hardware counters. The
 // instrumentation pipeline never reads these directly — it consumes PEBS
@@ -20,6 +23,9 @@ type Counters struct {
 	TotalRetired uint64
 	TotalBusy    uint64
 	TotalStall   uint64
+	// Faults counts execution faults raised by Step (bad PC, memory
+	// fault, SFI trap, stepping a halted context).
+	Faults uint64
 }
 
 // NewCounters allocates counters for a program of n instructions.
@@ -51,6 +57,16 @@ func (c *Counters) StallFraction() float64 {
 		return 0
 	}
 	return float64(c.TotalStall) / float64(total)
+}
+
+// FillMetrics harvests the core-wide totals into an observability
+// registry section. Per-PC counters stay here; the registry carries
+// only the program-wide cycle accounting.
+func (c *Counters) FillMetrics(m *metrics.CPU) {
+	m.Retired = c.TotalRetired
+	m.BusyCycles = c.TotalBusy
+	m.StallCycles = c.TotalStall
+	m.Faults = c.Faults
 }
 
 // RetireEvent describes one retired instruction for observers (the PEBS

@@ -7,6 +7,7 @@ import (
 	"repro/internal/coro"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 )
 
 // testRig builds a core over the given assembly with a 1 MiB memory and a
@@ -506,5 +507,40 @@ func TestFaultErrorAndCounterAccessors(t *testing.T) {
 	bad.Instrs = append(bad.Instrs, isa.Instr{Op: isa.Op(240)})
 	if _, err := NewCore(DefaultConfig(), bad, nil, nil); err == nil {
 		t.Error("invalid program accepted")
+	}
+}
+
+// TestFaultCounting pins the fault accounting exported through
+// FillMetrics: every surfaced *Fault increments Counters.Faults.
+func TestFaultCounting(t *testing.T) {
+	prog := isa.MustAssemble(`
+        movi r1, 0
+        load r2, [r1]   ; null-guard fault
+        halt
+    `)
+	m := mem.NewMemory(1 << 16)
+	h := mem.MustNewHierarchy(mem.DefaultConfig())
+	c := MustNewCore(DefaultConfig(), prog, m, h)
+	ctx := coro.NewContext(0, 0, m.Size()-8)
+
+	if c.Counters.Faults != 0 {
+		t.Fatalf("fresh core reports %d faults", c.Counters.Faults)
+	}
+	var res StepResult
+	if err := c.StepInto(ctx, false, &res); err != nil { // movi
+		t.Fatal(err)
+	}
+	err := c.StepInto(ctx, false, &res) // faulting load
+	if err == nil {
+		t.Fatal("expected a fault from the null load")
+	}
+	if c.Counters.Faults != 1 {
+		t.Errorf("Faults = %d after one fault, want 1", c.Counters.Faults)
+	}
+
+	var mm metrics.CPU
+	c.Counters.FillMetrics(&mm)
+	if mm.Faults != 1 || mm.Retired != c.Counters.TotalRetired || mm.BusyCycles != c.Counters.TotalBusy {
+		t.Errorf("FillMetrics mismatch: %+v vs %+v", mm, *c.Counters)
 	}
 }

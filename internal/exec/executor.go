@@ -26,6 +26,7 @@ import (
 	"repro/internal/coro"
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -51,6 +52,13 @@ type Config struct {
 	// Tracer, when non-nil, receives scheduling events (switches, hide
 	// episodes, chains, halts) for debugging.
 	Tracer trace.Tracer
+	// Metrics, when non-nil, receives cycle-domain observability
+	// counters: the executor bumps hide-episode histograms inline at
+	// episode boundaries, and CaptureMetrics harvests the core- and
+	// hierarchy-level counters on demand. The nil check per emission
+	// site is the whole disabled-path cost — the same contract as
+	// Tracer.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the reference runtime configuration.
@@ -186,6 +194,20 @@ func (e *Executor) emit(kind trace.Kind, t *Task, arg uint64) {
 		PC:   t.Ctx.PC,
 		Arg:  arg,
 	})
+}
+
+// CaptureMetrics harvests the always-on core and hierarchy counters
+// into the configured registry's Mem and CPU sections. The executor's
+// own histogram sections are bumped inline during runs and need no
+// harvest. A nil-metrics executor makes this a no-op, so callers can
+// invoke it unconditionally after a run.
+func (e *Executor) CaptureMetrics() {
+	m := e.Cfg.Metrics
+	if m == nil {
+		return
+	}
+	e.Core.Hier.FillMetrics(&m.Mem)
+	e.Core.Counters.FillMetrics(&m.CPU)
 }
 
 // collect aggregates task accounting into stats.

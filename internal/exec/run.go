@@ -143,6 +143,9 @@ func (e *Executor) RunDualMode(primary *Task, scavengers []*Task) (Stats, error)
 			if away > episodeTarget {
 				st.PrimaryDelay += away - episodeTarget
 			}
+			if m := e.Cfg.Metrics; m != nil {
+				m.Exec.NoteEpisode(away, episodeTarget)
+			}
 			e.emit(trace.EpisodeEnd, primary, away)
 		}
 	}
@@ -175,6 +178,9 @@ func (e *Executor) RunDualMode(primary *Task, scavengers []*Task) (Stats, error)
 				e.resume(cur)
 				if inEpisode {
 					st.ChainSwitches++
+					if m := e.Cfg.Metrics; m != nil {
+						m.Exec.Chains++
+					}
 				}
 				continue
 			}
@@ -209,6 +215,9 @@ func (e *Executor) RunDualMode(primary *Task, scavengers []*Task) (Stats, error)
 					}
 					if satisfied {
 						st.HWSkips++
+						if m := e.Cfg.Metrics; m != nil {
+							m.Exec.HWSkips++
+						}
 						e.emit(trace.Skip, cur, 0)
 						continue
 					}
@@ -233,6 +242,9 @@ func (e *Executor) RunDualMode(primary *Task, scavengers []*Task) (Stats, error)
 					e.resume(cur)
 					if inEpisode {
 						st.ChainSwitches++
+						if m := e.Cfg.Metrics; m != nil {
+							m.Exec.Chains++
+						}
 					}
 				}
 				// else: no peer; keep running and absorb the stall.

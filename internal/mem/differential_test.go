@@ -230,6 +230,9 @@ func (h *refHierarchy) Prefetch(addr, now uint64) (Level, uint64) {
 	}
 	completion := now + h.cfg.Latency(lvl)
 	h.fills[ln] = refInflight{completion: completion, level: lvl}
+	if n := uint64(len(h.fills)); n > h.Stats.MSHRPeak {
+		h.Stats.MSHRPeak = n
+	}
 	h.Stats.Prefetches++
 	return lvl, completion
 }
@@ -289,6 +292,9 @@ func (h *refHierarchy) hwPrefetch(ln, now uint64) {
 		lvl = LevelDRAM
 	}
 	h.fills[ln] = refInflight{completion: now + h.cfg.Latency(lvl), level: lvl}
+	if n := uint64(len(h.fills)); n > h.Stats.MSHRPeak {
+		h.Stats.MSHRPeak = n
+	}
 	h.Stats.HWPrefetches++
 }
 

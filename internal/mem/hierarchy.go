@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // Config sizes the cache hierarchy and fixes its latencies in cycles.
 // Defaults model a contemporary server core at 3 GHz: L1 hits absorbable by
@@ -102,6 +106,10 @@ type Stats struct {
 	// InflightFull counts residual-latency accesses whose fill had already
 	// completed (the prefetch fully hid the miss).
 	InflightFull uint64
+	// MSHRPeak is the occupancy high-water mark of the fill table: the
+	// most fills ever simultaneously outstanding. Against MaxInflight it
+	// tells whether a workload actually saturates the MSHR budget.
+	MSHRPeak uint64
 }
 
 // Total returns the total number of demand accesses.
@@ -291,6 +299,9 @@ func (h *Hierarchy) Prefetch(addr, now uint64) (Level, uint64) {
 	}
 	completion := now + h.cfg.Latency(lvl)
 	h.fills.insert(ln, completion, lvl)
+	if n := uint64(h.fills.len()); n > h.Stats.MSHRPeak {
+		h.Stats.MSHRPeak = n
+	}
 	h.Stats.Prefetches++
 	return lvl, completion
 }
@@ -360,6 +371,9 @@ func (h *Hierarchy) hwPrefetch(ln, now uint64) {
 		lvl = LevelDRAM
 	}
 	h.fills.insert(ln, now+h.cfg.Latency(lvl), lvl)
+	if n := uint64(h.fills.len()); n > h.Stats.MSHRPeak {
+		h.Stats.MSHRPeak = n
+	}
 	h.Stats.HWPrefetches++
 }
 
@@ -414,6 +428,26 @@ func (h *Hierarchy) Flush() {
 
 // ResetStats zeroes the counters without touching cache state.
 func (h *Hierarchy) ResetStats() { h.Stats = Stats{} }
+
+// FillMetrics harvests the hierarchy's always-on counters into an
+// observability registry section. The demand path never counts twice:
+// these are the same uint64 fields Stats has been bumping inline all
+// along, copied out at snapshot time.
+func (h *Hierarchy) FillMetrics(m *metrics.Mem) {
+	m.L1Hits = h.Stats.Accesses[LevelL1]
+	m.L2Hits = h.Stats.Accesses[LevelL2]
+	m.L3Hits = h.Stats.Accesses[LevelL3]
+	m.DRAMAccesses = h.Stats.Accesses[LevelDRAM]
+	m.InflightHits = h.Stats.Accesses[LevelInflight]
+	m.InflightFull = h.Stats.InflightFull
+	m.L2Misses = h.Stats.Accesses[LevelL3] + h.Stats.Accesses[LevelDRAM]
+	m.Prefetches = h.Stats.Prefetches
+	m.PrefetchHits = h.Stats.PrefetchHits
+	m.HWPrefetches = h.Stats.HWPrefetches
+	m.MSHRDrops = h.Stats.MSHRDrops
+	m.MSHRHighWater = h.Stats.MSHRPeak
+	m.Writebacks = h.Stats.Writebacks
+}
 
 // install fills the line into every level (dirtying L1 when write is
 // set) and returns the write-back penalty incurred if L1 had to evict a

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/metrics"
 )
 
 func TestMemoryAllocAndAccess(t *testing.T) {
@@ -530,5 +532,48 @@ func TestNewCachePanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// TestMSHRPeakAndFillMetrics pins the occupancy high-water mark and its
+// export into the observability registry.
+func TestMSHRPeakAndFillMetrics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HWPrefetchDistance = 0 // only software prefetches occupy MSHRs
+	cfg.MaxInflight = 8
+	h := MustNewHierarchy(cfg)
+
+	// Start 5 fills at distinct lines, all outstanding at cycle 0.
+	for i := 0; i < 5; i++ {
+		h.Prefetch(uint64(i)*cfg.LineSize, 0)
+	}
+	if h.Stats.MSHRPeak != 5 {
+		t.Fatalf("MSHRPeak = %d after 5 concurrent fills, want 5", h.Stats.MSHRPeak)
+	}
+	// Drain them via demand accesses; the peak must not move.
+	for i := 0; i < 5; i++ {
+		h.Access(uint64(i)*cfg.LineSize, 1000)
+	}
+	if h.Stats.MSHRPeak != 5 {
+		t.Fatalf("MSHRPeak moved on drain: %d", h.Stats.MSHRPeak)
+	}
+	// Three more simultaneous fills peak at 3, below the high water.
+	for i := 10; i < 13; i++ {
+		h.Prefetch(uint64(i)*cfg.LineSize, 2000)
+	}
+	if h.Stats.MSHRPeak != 5 {
+		t.Fatalf("MSHRPeak regressed: %d", h.Stats.MSHRPeak)
+	}
+
+	var m metrics.Mem
+	h.FillMetrics(&m)
+	if m.MSHRHighWater != 5 {
+		t.Errorf("FillMetrics MSHRHighWater = %d, want 5", m.MSHRHighWater)
+	}
+	if m.Prefetches != h.Stats.Prefetches || m.Writebacks != h.Stats.Writebacks {
+		t.Errorf("FillMetrics did not mirror Stats: %+v vs %+v", m, h.Stats)
+	}
+	if m.L2Misses != h.Stats.Accesses[LevelL3]+h.Stats.Accesses[LevelDRAM] {
+		t.Errorf("L2Misses = %d, want L3+DRAM accesses", m.L2Misses)
 	}
 }

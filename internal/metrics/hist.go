@@ -1,0 +1,86 @@
+package metrics
+
+import "math/bits"
+
+// NumBuckets is the fixed bucket count of a Hist: one bucket for zero
+// plus one per power of two up to 2^63. The storage is a fixed array so
+// a Hist never allocates, no matter what it observes.
+const NumBuckets = 65
+
+// Hist is a log2-bucketed histogram over uint64 values with fixed
+// storage. Bucket 0 counts zero-valued observations; bucket i (i ≥ 1)
+// counts values v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+// Observe is a few arithmetic instructions and two fixed-offset array
+// writes — cheap enough to sit on episode boundaries in the cycle
+// domain, and allocation-free by construction.
+type Hist struct {
+	Buckets [NumBuckets]uint64
+	// Count and Sum summarize all observations; Count equals the sum of
+	// Buckets and is kept inline so totals reconcile without a walk.
+	Count uint64
+	Sum   uint64
+	// Min and Max track the observed range (Min is meaningful only when
+	// Count > 0).
+	Min uint64
+	Max uint64
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	h.Buckets[bits.Len64(v)]++
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+}
+
+// Mean returns the average observed value, or 0 when empty.
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Reset zeroes the histogram in place.
+func (h *Hist) Reset() { *h = Hist{} }
+
+// BucketBounds returns the half-open value range [lo, hi) covered by
+// bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 1
+	}
+	if i >= 64 {
+		return 1 << 63, ^uint64(0)
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 < q ≤ 1):
+// the exclusive upper edge of the bucket containing the q·Count-th
+// observation. With log2 buckets this is accurate to a factor of two,
+// which is the resolution the hide-episode analysis needs (is the tail
+// 100 ns or 1 µs?).
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < NumBuckets; i++ {
+		seen += h.Buckets[i]
+		if seen >= rank {
+			_, hi := BucketBounds(i)
+			return hi
+		}
+	}
+	return h.Max
+}

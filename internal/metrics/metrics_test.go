@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 62, 63}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+		if h.Buckets[c.bucket] == 0 {
+			t.Errorf("Observe(%d) did not land in bucket %d", c.v, c.bucket)
+		}
+		lo, hi := BucketBounds(c.bucket)
+		if c.v < lo || (c.bucket < 64 && c.v >= hi) {
+			t.Errorf("bucket %d bounds [%d,%d) exclude its own value %d", c.bucket, lo, hi, c.v)
+		}
+	}
+	if h.Count != uint64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count, len(cases))
+	}
+	var sum uint64
+	for _, b := range h.Buckets {
+		sum += b
+	}
+	if sum != h.Count {
+		t.Errorf("bucket sum %d != Count %d", sum, h.Count)
+	}
+	if h.Min != 0 || h.Max != ^uint64(0) {
+		t.Errorf("Min/Max = %d/%d", h.Min, h.Max)
+	}
+}
+
+func TestHistMeanAndQuantile(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty hist should report zeros")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(100) // all in bucket 7: [64,128)
+	}
+	if h.Mean() != 100 {
+		t.Errorf("Mean = %v, want 100", h.Mean())
+	}
+	if q := h.Quantile(0.5); q != 128 {
+		t.Errorf("Quantile(0.5) = %d, want bucket upper bound 128", q)
+	}
+	h.Reset()
+	if h.Count != 0 || h.Sum != 0 {
+		t.Error("Reset did not zero the hist")
+	}
+}
+
+func TestNoteEpisodeReconciles(t *testing.T) {
+	var x Exec
+	x.NoteEpisode(300, 300) // exactly covered
+	x.NoteEpisode(500, 300) // 200 overshoot
+	x.NoteEpisode(100, 300) // under target: covered == away
+	if x.Episodes != 3 || x.EpisodeDur.Count != 3 || x.EpisodeCover.Count != 3 {
+		t.Fatalf("episode totals do not reconcile: %d / %d / %d",
+			x.Episodes, x.EpisodeDur.Count, x.EpisodeCover.Count)
+	}
+	if x.EpisodeCycles != 900 {
+		t.Errorf("EpisodeCycles = %d, want 900", x.EpisodeCycles)
+	}
+	if x.HiddenCycles != 300+300+100 {
+		t.Errorf("HiddenCycles = %d, want 700", x.HiddenCycles)
+	}
+	if x.OvershootCycles != 200 {
+		t.Errorf("OvershootCycles = %d, want 200", x.OvershootCycles)
+	}
+}
+
+func TestSnapshotTableAndMetrics(t *testing.T) {
+	var r Registry
+	r.Exec.NoteEpisode(450, 300)
+	r.Mem.DRAMAccesses = 7
+	r.CPU.Retired = 1234
+	snap := r.Snapshot()
+
+	// The registry keeps counting after the snapshot; the copy must not.
+	r.Exec.NoteEpisode(10, 10)
+	if snap.Exec.Episodes != 1 {
+		t.Fatalf("snapshot aliases the registry: episodes = %d", snap.Exec.Episodes)
+	}
+
+	tbl := snap.Table().String()
+	for _, want := range []string{"episodes", "mshr_high_water", "dram_accesses", "episode_dur_total", "request_latency_total"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("snapshot table missing %q:\n%s", want, tbl)
+		}
+	}
+
+	m := map[string]float64{}
+	snap.Metrics(m)
+	if m["obs.exec.episodes"] != 1 || m["obs.cpu.retired"] != 1234 || m["obs.mem.dram_accesses"] != 7 {
+		t.Errorf("flattened metrics wrong: %v", m)
+	}
+	for k := range m {
+		if !strings.HasPrefix(k, "obs.") {
+			t.Errorf("metric key %q lacks the obs. prefix", k)
+		}
+	}
+}
+
+// TestBumpPathsAllocFree guards the inline-uint64 rule: every operation
+// a cycle-domain layer performs against the registry — histogram
+// observes, episode notes, snapshot copies — is allocation-free.
+func TestBumpPathsAllocFree(t *testing.T) {
+	var r Registry
+	var snap Snapshot
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Exec.NoteEpisode(450, 300)
+		r.Exec.Chains++
+		r.Sched.RequestLatency.Observe(900)
+		r.Mem.Writebacks++
+		snap = r.Snapshot()
+	})
+	if allocs != 0 {
+		t.Errorf("registry bump path allocated %.1f times per run, want 0", allocs)
+	}
+	_ = snap
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 )
 
 func loadEvent(pc int, stall uint64, missL2, missL3 bool, now uint64) cpu.RetireEvent {
@@ -195,5 +196,33 @@ func TestDefaultConfig(t *testing.T) {
 	}
 	if cfg.LBRDepth != 32 {
 		t.Errorf("LBRDepth = %d", cfg.LBRDepth)
+	}
+}
+
+// TestFillMetrics: the harvested Sampler section must mirror the
+// sampler's own accounting, including buffer drops.
+func TestFillMetrics(t *testing.T) {
+	cfg := Config{BufferSize: 5, Precise: true, CostPerSample: 7, LBRDepth: 4, LBREvery: 1}
+	cfg.Periods[EvLoadRetired] = 1
+	s := NewSampler(cfg, 100)
+	for i := 0; i < 9; i++ {
+		s.OnRetire(loadEvent(5, 0, false, false, uint64(i)))
+	}
+	for i := 0; i < 6; i++ {
+		s.OnBranch(cpu.BranchEvent{From: i, To: i + 1, Now: uint64(i), Cycles: 10})
+	}
+	var m metrics.Sampler
+	s.FillMetrics(&m)
+	if m.Samples != uint64(len(s.Samples)) || m.Samples != 5 {
+		t.Errorf("Samples = %d, want %d (= buffer size 5)", m.Samples, len(s.Samples))
+	}
+	if m.Dropped != s.Dropped || m.Dropped != 4 {
+		t.Errorf("Dropped = %d, want 4", m.Dropped)
+	}
+	if m.Branches != 6 {
+		t.Errorf("Branches = %d, want 6", m.Branches)
+	}
+	if m.OverheadCycles != s.OverheadCycles() || m.OverheadCycles != (5+4)*7 {
+		t.Errorf("OverheadCycles = %d, want %d", m.OverheadCycles, (5+4)*7)
 	}
 }

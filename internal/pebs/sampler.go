@@ -1,6 +1,9 @@
 package pebs
 
-import "repro/internal/cpu"
+import (
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+)
 
 // Sampler implements cpu.Observer, turning the retire stream into PEBS
 // samples and LBR aggregates.
@@ -50,6 +53,17 @@ func (s *Sampler) Occurrences(e EventKind) uint64 { return s.occurred[e] }
 // times samples taken (including dropped ones, which still trapped).
 func (s *Sampler) OverheadCycles() uint64 {
 	return (uint64(len(s.Samples)) + s.Dropped) * s.cfg.CostPerSample
+}
+
+// FillMetrics harvests the sampler's overhead accounting into the
+// registry's Sampler section. The counters are maintained
+// unconditionally, so this copies rather than double-counting on the
+// sampling path.
+func (s *Sampler) FillMetrics(m *metrics.Sampler) {
+	m.Samples = uint64(len(s.Samples))
+	m.Dropped = s.Dropped
+	m.Branches = s.branches
+	m.OverheadCycles = s.OverheadCycles()
 }
 
 // attributePC applies the skid model.

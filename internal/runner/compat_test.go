@@ -3,10 +3,12 @@ package runner
 import (
 	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 // fixtureDir holds a cache entry written before PR 2's allocation-free
@@ -74,5 +76,57 @@ func TestCacheCompatFixture(t *testing.T) {
 	}
 	if fresh.String() != cached.String() {
 		t.Fatalf("rendered table differs from pre-change cached fixture")
+	}
+}
+
+// TestCacheRoundTripWithObservabilityTable: results that carry the new
+// "observability" table and obs.* metrics must round-trip through the
+// cache byte-identically, while old-style results (no such table — the
+// shape every pre-observability cache entry has) keep decoding under the
+// same schema. Result's JSON shape did not change (the table list and
+// metric map just gained entries), so cacheSchema stays at 1.
+func TestCacheRoundTripWithObservabilityTable(t *testing.T) {
+	var reg metrics.Registry
+	reg.Exec.NoteEpisode(500, 360)
+	reg.Exec.NoteEpisode(120, 360)
+	reg.Mem.L1Hits = 77
+	snap := reg.Snapshot()
+
+	with := &experiments.Result{ID: "obs-on", Metrics: map[string]float64{"cycles": 123}}
+	with.Tables = append(with.Tables, snap.Table())
+	snap.Metrics(with.Metrics)
+	without := &experiments.Result{ID: "obs-off", Metrics: map[string]float64{"cycles": 123}}
+
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*experiments.Result{with, without} {
+		j := Job{ID: res.ID, Mach: core.DefaultMachine(), Cacheable: true}
+		if err := c.Put(j, res); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := c.Get(j)
+		if !ok {
+			t.Fatalf("%s: cache miss after put", res.ID)
+		}
+		want, _ := json.Marshal(res)
+		have, _ := json.Marshal(got)
+		if string(want) != string(have) {
+			t.Fatalf("%s: cache round-trip changed the result:\n got: %s\nwant: %s", res.ID, have, want)
+		}
+		if got.String() != res.String() {
+			t.Fatalf("%s: rendered tables differ after round-trip", res.ID)
+		}
+	}
+
+	// The observability histogram rows survived: episode total equals the
+	// two episodes recorded, visible in the decoded table text.
+	got, _ := c.Get(Job{ID: "obs-on", Mach: core.DefaultMachine(), Cacheable: true})
+	if !strings.Contains(got.String(), "episode_dur_total") {
+		t.Errorf("decoded result lost observability rows:\n%s", got.String())
+	}
+	if got.Metrics["obs.exec.episodes"] != 2 {
+		t.Errorf("obs.exec.episodes = %v, want 2", got.Metrics["obs.exec.episodes"])
 	}
 }

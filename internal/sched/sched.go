@@ -192,6 +192,13 @@ func (s *Scheduler) Run() (Stats, error) {
 		st.Busy += t.Ctx.BusyCycles
 		st.Switches += t.Ctx.Switches
 	}
+	if m := s.ex.Cfg.Metrics; m != nil {
+		m.Sched.Requests += uint64(len(s.requests))
+		m.Sched.BatchTasks += uint64(len(s.batch))
+		for _, l := range st.RequestLatencies {
+			m.Sched.RequestLatency.Observe(l)
+		}
+	}
 	return st, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 )
 
 // The test image: an instrumented pointer chase (requests) and an
@@ -152,6 +153,36 @@ func TestPolicyString(t *testing.T) {
 	for _, p := range []Policy{Agnostic, Sidecar, EventAware, Policy(9)} {
 		if p.String() == "" {
 			t.Error("empty policy name")
+		}
+	}
+}
+
+// TestSchedulerMetricsReconcile: the registry's Sched section must agree
+// exactly with the run's request accounting, for every policy.
+func TestSchedulerMetricsReconcile(t *testing.T) {
+	for _, policy := range []Policy{Agnostic, Sidecar, EventAware} {
+		var reg metrics.Registry
+		s, _ := rig(t, policy, 3, 2, 3000)
+		s.ex.Cfg.Metrics = &reg
+		st, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg.Sched.Requests != uint64(len(st.RequestLatencies)) {
+			t.Errorf("%v: Sched.Requests = %d, want %d", policy, reg.Sched.Requests, len(st.RequestLatencies))
+		}
+		if reg.Sched.BatchTasks != 2 {
+			t.Errorf("%v: Sched.BatchTasks = %d, want 2", policy, reg.Sched.BatchTasks)
+		}
+		if reg.Sched.RequestLatency.Count != uint64(len(st.RequestLatencies)) {
+			t.Errorf("%v: RequestLatency.Count = %d, want %d", policy, reg.Sched.RequestLatency.Count, len(st.RequestLatencies))
+		}
+		var sum uint64
+		for _, l := range st.RequestLatencies {
+			sum += l
+		}
+		if reg.Sched.RequestLatency.Sum != sum {
+			t.Errorf("%v: RequestLatency.Sum = %d, want %d", policy, reg.Sched.RequestLatency.Sum, sum)
 		}
 	}
 }

@@ -2,10 +2,14 @@
 # bench.sh — benchmark-trajectory guardrail for the simulator hot path.
 #
 # Runs the two hot-path benchmarks and compares them against the recorded
-# trajectory in BENCH_PR2.json. The comparison is advisory (machines
-# differ); the hard line it draws is allocation count: steady-state
-# stepping (BenchmarkCoreStep) must report 0 allocs/op, or the
-# allocation-free hot path has regressed.
+# trajectory in BENCH_PR2.json. Two lines are drawn:
+#
+#   - allocation count (hard): steady-state stepping (BenchmarkCoreStep)
+#     must report 0 allocs/op, or the allocation-free hot path regressed;
+#   - step rate (gated, tolerant): measured ns/op must be within
+#     BENCH_TOLERANCE_PCT (default 15%) of the recorded ns_per_op. Set
+#     BENCH_SKIP_RATE_GATE=1 to disable on machines unlike the recording
+#     host (CI shared runners keep it on but the job is non-gating).
 #
 # Usage:  scripts/bench.sh [benchtime]     (default 2s; CI uses 1x)
 set -eu
@@ -31,3 +35,34 @@ if [ "${allocs:-1}" != "0" ]; then
 fi
 echo
 echo "OK: steady-state step is allocation-free (0 allocs/op)"
+
+# Step-rate gate: measured ns/op vs the recorded trajectory, ±tolerance.
+if [ "${BENCH_SKIP_RATE_GATE:-0}" = "1" ]; then
+    echo "SKIP: step-rate gate disabled (BENCH_SKIP_RATE_GATE=1)"
+    exit 0
+fi
+case "$benchtime" in
+*x)
+    # An iteration-count benchtime (CI's 1x smoke) times a single pass —
+    # cold caches, no warmup — which says nothing about steady-state rate.
+    echo "SKIP: step-rate gate needs a duration benchtime (got $benchtime)"
+    exit 0
+    ;;
+esac
+tol="${BENCH_TOLERANCE_PCT:-15}"
+# BenchmarkCoreStep output:  name  iters  X ns/op  Y B/op  Z allocs/op
+measured=$(echo "$step" | awk '/BenchmarkCoreStep/ { for (i=2; i<NF; i++) if ($(i+1) == "ns/op") print $i }')
+recorded=$(awk '/"BenchmarkCoreStep"/ { found=1 } found && /"current"/ { cur=1 } cur && /"ns_per_op"/ { gsub(/[",]/,"",$2); print $2; exit }' BENCH_PR2.json)
+if [ -z "$measured" ] || [ -z "$recorded" ]; then
+    echo "FAIL: could not extract step rate (measured='$measured' recorded='$recorded')" >&2
+    exit 1
+fi
+echo "step rate: measured ${measured} ns/op vs recorded ${recorded} ns/op (tolerance ±${tol}%)"
+awk -v m="$measured" -v r="$recorded" -v t="$tol" 'BEGIN {
+    lo = r * (1 - t/100); hi = r * (1 + t/100)
+    if (m < lo || m > hi) {
+        printf "FAIL: %s ns/op outside [%.2f, %.2f]\n", m, lo, hi > "/dev/stderr"
+        exit 1
+    }
+    printf "OK: step rate within ±%s%% of the recorded trajectory\n", t
+}'

@@ -3,8 +3,10 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -30,7 +32,7 @@ type Session struct {
 	mach        Machine
 	parallelism int
 	cache       *runner.Cache
-	tracer      trace.Tracer
+	obs         ObservabilityConfig
 }
 
 // Option configures a Session under construction.
@@ -41,7 +43,7 @@ type sessionConfig struct {
 	seed        *int64
 	parallelism int
 	cacheDir    *string
-	tracer      trace.Tracer
+	obs         ObservabilityConfig
 }
 
 // WithMachine replaces the reference machine wholesale.
@@ -66,11 +68,51 @@ func WithCache(dir string) Option {
 	return func(c *sessionConfig) { c.cacheDir = &dir }
 }
 
+// ObservabilityConfig bundles the session's whole observation surface:
+// scheduling-event tracing, the cycle-domain metrics registry, and the
+// sink trace exports are written to. Every field is optional; the zero
+// value observes nothing and costs one nil check per emission site.
+type ObservabilityConfig struct {
+	// Tracer receives executor scheduling events; a *TraceRing here also
+	// feeds ExportTrace.
+	Tracer Tracer
+	// Metrics, when non-nil, is threaded into every executor the session
+	// builds: the runtime bumps hide-episode histograms inline and
+	// harvests cache/core/sampler counters after runs. Inspect it with
+	// Session.MetricsSnapshot.
+	Metrics *MetricsRegistry
+	// TraceSink, when non-nil, is where Session.ExportTrace writes
+	// Chrome trace-event JSON when called with a nil writer (e.g. a file
+	// the CLI opened for -trace-out).
+	TraceSink io.Writer
+}
+
+// WithObservability installs the session's observation surface — tracer,
+// metrics registry and trace-export sink — in one option:
+//
+//	ring := repro.NewTraceRing(4096)
+//	reg := &repro.MetricsRegistry{}
+//	s, _ := repro.NewSession(repro.WithObservability(repro.ObservabilityConfig{
+//	    Tracer:  ring,
+//	    Metrics: reg,
+//	}))
+//
+// NewExecutor wires Tracer and Metrics into every executor the session
+// builds (unless the ExecConfig already carries its own).
+func WithObservability(o ObservabilityConfig) Option {
+	return func(c *sessionConfig) { c.obs = o }
+}
+
 // WithTracer installs a scheduling-event tracer that NewExecutor wires
 // into every executor the session builds (unless the ExecConfig already
 // carries one). See NewTraceRing.
+//
+// Deprecated: prefer WithObservability, which carries the tracer
+// together with the metrics registry and trace-export sink. WithTracer
+// is equivalent to WithObservability(ObservabilityConfig{Tracer: t})
+// and overwrites any previously applied observability option.
 func WithTracer(t Tracer) Option {
-	return func(c *sessionConfig) { c.tracer = t }
+	return func(c *sessionConfig) { c.obs = ObservabilityConfig{Tracer: t} }
 }
 
 // NewSession builds a session over the reference machine, then applies
@@ -83,7 +125,7 @@ func NewSession(opts ...Option) (*Session, error) {
 	if cfg.seed != nil {
 		cfg.mach.Seed = *cfg.seed
 	}
-	s := &Session{mach: cfg.mach, parallelism: cfg.parallelism, tracer: cfg.tracer}
+	s := &Session{mach: cfg.mach, parallelism: cfg.parallelism, obs: cfg.obs}
 	if cfg.cacheDir != nil {
 		dir := *cfg.cacheDir
 		if dir == "" {
@@ -120,10 +162,14 @@ func (s *Session) NewHarness(specs ...workloads.Spec) (*Harness, error) {
 }
 
 // NewExecutor builds an executor over an image, injecting the session's
-// tracer when the config does not already carry one.
+// tracer and metrics registry when the config does not already carry
+// its own.
 func (s *Session) NewExecutor(h *Harness, img *Image, cfg ExecConfig) *Executor {
 	if cfg.Tracer == nil {
-		cfg.Tracer = s.tracer
+		cfg.Tracer = s.obs.Tracer
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.obs.Metrics
 	}
 	return h.NewExecutor(img, cfg)
 }
@@ -183,15 +229,51 @@ func (s *Session) Pipeline(part string, opts PipelineOptions, specs ...workloads
 	if err != nil {
 		return nil, nil, err
 	}
-	prof, _, err := h.Profile(part)
+	prof, smp, err := h.Profile(part)
 	if err != nil {
 		return nil, nil, err
+	}
+	if s.obs.Metrics != nil {
+		smp.FillMetrics(&s.obs.Metrics.Sampler)
 	}
 	img, err := h.Instrument(prof, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("instrumenting %s: %w", part, err)
 	}
 	return h, img, nil
+}
+
+// Observability returns the session's observation surface as
+// configured by WithObservability (or the WithTracer alias).
+func (s *Session) Observability() ObservabilityConfig { return s.obs }
+
+// MetricsSnapshot copies the current state of the session's metrics
+// registry. It returns a zero snapshot when no registry is configured,
+// so callers can render unconditionally.
+func (s *Session) MetricsSnapshot() MetricsSnapshot {
+	if s.obs.Metrics == nil {
+		return MetricsSnapshot{}
+	}
+	return s.obs.Metrics.Snapshot()
+}
+
+// ExportTrace writes the session tracer's retained events as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing) to w,
+// falling back to the configured TraceSink when w is nil. It errors
+// when there is nowhere to write or the session's tracer is not a
+// *TraceRing (only rings retain events to export).
+func (s *Session) ExportTrace(w io.Writer, opt ChromeTraceOptions) error {
+	if w == nil {
+		w = s.obs.TraceSink
+	}
+	if w == nil {
+		return fmt.Errorf("repro: ExportTrace needs a writer (none passed, no TraceSink configured)")
+	}
+	ring, ok := s.obs.Tracer.(*TraceRing)
+	if !ok {
+		return fmt.Errorf("repro: ExportTrace needs a *TraceRing tracer, have %T", s.obs.Tracer)
+	}
+	return trace.WriteChromeTrace(w, ring.Events(), opt)
 }
 
 // ---- Tracing surface (internal/trace) ----
@@ -205,7 +287,28 @@ type (
 	TraceRing = trace.Ring
 	// TraceEvent is one scheduling occurrence.
 	TraceEvent = trace.Event
+	// ChromeTraceOptions tunes Chrome trace-event export (cycle→µs
+	// conversion, process labelling).
+	ChromeTraceOptions = trace.ChromeTraceOptions
 )
 
 // NewTraceRing creates a tracer retaining up to n events.
 func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
+
+// WriteChromeTrace converts trace events into Chrome trace-event JSON;
+// Session.ExportTrace is the usual entry point.
+var WriteChromeTrace = trace.WriteChromeTrace
+
+// ---- Metrics surface (internal/metrics) ----
+
+type (
+	// MetricsRegistry is the cycle-domain observability registry: plain
+	// uint64 counters and fixed-array histograms bumped inline by the
+	// runtime. The zero value is ready to use.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, renderable
+	// as a stats.Table or a flat metric map.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsHist is a log2-bucketed fixed-array histogram.
+	MetricsHist = metrics.Hist
+)

@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -120,5 +122,102 @@ func TestSessionPipelineAndTracer(t *testing.T) {
 	}
 	if ring.Total() == 0 {
 		t.Error("session tracer saw no events")
+	}
+}
+
+func TestSessionObservability(t *testing.T) {
+	ring := NewTraceRing(1 << 12)
+	reg := &MetricsRegistry{}
+	s, err := NewSession(WithObservability(ObservabilityConfig{Tracer: ring, Metrics: reg}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, img, err := s.Pipeline("chase", DefaultPipelineOptions(),
+		PointerChase{Nodes: 2048, Hops: 500, Instances: 2},
+		Compute{Iters: 20000, Instances: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipeline harvests the profiling run's sampler overhead.
+	if reg.Sampler.Samples == 0 {
+		t.Error("Pipeline did not fill sampler metrics")
+	}
+	primary, err := h.Tasks(img, "chase", Primary, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scavs, err := h.Tasks(img, "compute", Scavenger, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.NewExecutor(h, img, ExecConfig{})
+	if e.Cfg.Metrics != reg || e.Cfg.Tracer != Tracer(ring) {
+		t.Fatal("NewExecutor did not inject the session observability")
+	}
+	st, err := e.RunDualMode(primary.Tasks[0], scavs.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.CaptureMetrics()
+	snap := s.MetricsSnapshot()
+	if snap.Exec.Episodes != st.Episodes || snap.Exec.EpisodeDur.Count != st.Episodes {
+		t.Errorf("episode histogram (%d dur / %d episodes) does not reconcile with stats (%d)",
+			snap.Exec.EpisodeDur.Count, snap.Exec.Episodes, st.Episodes)
+	}
+	if snap.CPU.Retired == 0 || snap.Mem.L1Hits == 0 {
+		t.Error("CaptureMetrics harvested nothing")
+	}
+	// The snapshot renders as a mergeable stats table and a flat metric
+	// map whose episode entries carry the same totals.
+	if !strings.Contains(snap.Table().String(), "episodes") {
+		t.Error("observability table missing episode rows")
+	}
+	flat := map[string]float64{}
+	snap.Metrics(flat)
+	if flat["obs.exec.episodes"] != float64(st.Episodes) {
+		t.Errorf("flat obs.exec.episodes = %v, want %d", flat["obs.exec.episodes"], st.Episodes)
+	}
+}
+
+func TestSessionExportTrace(t *testing.T) {
+	ring := NewTraceRing(256)
+	var sink bytes.Buffer
+	s, err := NewSession(WithObservability(ObservabilityConfig{Tracer: ring, TraceSink: &sink}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, img, err := s.Pipeline("chase", DefaultPipelineOptions(),
+		PointerChase{Nodes: 2048, Hops: 300, Instances: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := h.Tasks(img, "chase", Primary, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewExecutor(h, img, ExecConfig{}).RunSymmetric(ts.Tasks); err != nil {
+		t.Fatal(err)
+	}
+	// nil writer falls back to the configured sink.
+	if err := s.ExportTrace(nil, ChromeTraceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(sink.Bytes(), &events); err != nil {
+		t.Fatalf("ExportTrace did not produce a JSON event array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace export")
+	}
+
+	// No sink and no writer is an error; so is a non-ring tracer.
+	s2, _ := NewSession(WithObservability(ObservabilityConfig{Tracer: ring}))
+	if err := s2.ExportTrace(nil, ChromeTraceOptions{}); err == nil {
+		t.Error("ExportTrace with nowhere to write must error")
+	}
+	s3, _ := NewSession()
+	var buf bytes.Buffer
+	if err := s3.ExportTrace(&buf, ChromeTraceOptions{}); err == nil {
+		t.Error("ExportTrace without a ring tracer must error")
 	}
 }
