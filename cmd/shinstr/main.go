@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/cli"
 	"repro/internal/instrument"
 	"repro/internal/isa"
@@ -37,16 +38,19 @@ func main() {
 	coalesce := fs.Bool("coalesce", true, "coalesce yields across independent adjacent loads")
 	liveMasks := fs.Bool("livemasks", true, "save only live registers at yields")
 	interval := fs.Uint64("interval", 300, "scavenger inter-yield interval in cycles (0 disables the phase)")
+	report := fs.String("report", "", "write the old-to-new mapping report JSON here (shcheck -map input)")
+	origOut := fs.String("origout", "", "also write the uninstrumented scenario image here (shcheck -orig input)")
+	verify := fs.Bool("verify", true, "statically verify the rewritten image before writing it")
 	fs.Parse(os.Args[1:])
 
-	if err := run(&wf, *profPath, *out, *policyName, *theta, *topK, *coalesce, *liveMasks, *interval); err != nil {
+	if err := run(&wf, *profPath, *out, *policyName, *theta, *topK, *coalesce, *liveMasks, *interval, *report, *origOut, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "shinstr:", err)
 		os.Exit(1)
 	}
 }
 
 func run(wf *cli.WorkloadFlags, profPath, out, policyName string, theta float64, topK int,
-	coalesce, liveMasks bool, interval uint64) error {
+	coalesce, liveMasks bool, interval uint64, report, origOut string, verify bool) error {
 	if profPath == "" {
 		return fmt.Errorf("-profile is required (produce one with shprof)")
 	}
@@ -101,6 +105,50 @@ func run(wf *cli.WorkloadFlags, profPath, out, policyName string, theta float64,
 		return err
 	}
 
+	// The rewritten entry points root shcheck's reachability analyses.
+	var entries []int
+	for _, p := range h.Sc.Parts {
+		entries = append(entries, res.OldToNew[p.Entry])
+	}
+
+	if verify {
+		rep, err := check.Image(isa.Encode(h.Sc.Prog), img, res.OldToNew, check.Options{Entries: entries})
+		if err != nil {
+			return err
+		}
+		if err := rep.Err(); err != nil {
+			return fmt.Errorf("refusing to write unsound image: %w", err)
+		}
+	}
+
+	if report != "" {
+		f, err := os.Create(report)
+		if err != nil {
+			return err
+		}
+		m := check.MapFile{OldToNew: res.OldToNew, Entries: entries}
+		if err := m.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if origOut != "" {
+		f, err := os.Create(origOut)
+		if err != nil {
+			return err
+		}
+		if err := isa.SaveImage(f, isa.Encode(h.Sc.Prog)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
 	if out == "" {
 		out = wf.Workload + ".instrumented.img"
 	}
@@ -127,6 +175,15 @@ func run(wf *cli.WorkloadFlags, profPath, out, policyName string, theta float64,
 	if res.Scavenger != nil {
 		fmt.Printf("  scavenger phase: %d conditional yields (%d loop guarantees, %d spacing)\n",
 			len(res.Scavenger.CondYieldPCs), res.Scavenger.LoopYields, res.Scavenger.SpacingYields)
+	}
+	if verify {
+		fmt.Printf("  verified: %d instructions clean (shcheck)\n", img.Len())
+	}
+	if report != "" {
+		fmt.Printf("  wrote mapping report %s\n", report)
+	}
+	if origOut != "" {
+		fmt.Printf("  wrote original image %s\n", origOut)
 	}
 	fmt.Printf("  wrote %s\n", out)
 	return nil

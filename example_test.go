@@ -9,8 +9,11 @@ import (
 // Example_pipeline walks the paper's three steps on a pointer chase:
 // profile in production, instrument the binary, interleave coroutines.
 func Example_pipeline() {
-	h, err := repro.NewHarness(repro.DefaultMachine(),
-		repro.PointerChase{Nodes: 2048, Hops: 500, Instances: 4})
+	s, err := repro.NewSession()
+	if err != nil {
+		panic(err)
+	}
+	h, err := s.NewHarness(repro.PointerChase{Nodes: 2048, Hops: 500, Instances: 4})
 	if err != nil {
 		panic(err)
 	}

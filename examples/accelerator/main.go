@@ -21,10 +21,19 @@ func main() {
 	fmt.Printf("\n%-18s %12s %12s %12s %10s\n",
 		"engine latency", "baseline", "instrumented", "speedup", "yields")
 
+	ref, err := repro.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for _, latNS := range []float64{50, 150, 500} {
-		mach := repro.DefaultMachine()
+		mach := ref.Machine()
 		mach.CPU.AccelLatency = uint64(latNS * 3) // 3 GHz: ns -> cycles
-		h, err := repro.NewHarness(mach, repro.AccelStream{Blocks: 1500, Pad: 8, Instances: 8})
+		s, err := repro.NewSession(repro.WithMachine(mach))
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := s.NewHarness(repro.AccelStream{Blocks: 1500, Pad: 8, Instances: 8})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -24,7 +24,11 @@ import (
 const nWay = 8
 
 func main() {
-	h, err := repro.NewHarness(repro.DefaultMachine(), repro.HashJoin{
+	s, err := repro.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := s.NewHarness(repro.HashJoin{
 		BuildRows: 8192, Buckets: 4096, Probes: 400, MatchFraction: 0.7, Instances: nWay,
 	})
 	if err != nil {

@@ -30,7 +30,11 @@ const (
 )
 
 func main() {
-	h, err := repro.NewHarness(repro.DefaultMachine(),
+	s, err := repro.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := s.NewHarness(
 		repro.SkipList{Keys: 8192, Lookups: 60, Instances: nRequests},
 		repro.ArrayScan{N: 32768, Instances: nAnalytics},
 	)

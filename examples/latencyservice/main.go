@@ -23,7 +23,11 @@ import (
 )
 
 func main() {
-	h, err := repro.NewHarness(repro.DefaultMachine(),
+	s, err := repro.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := s.NewHarness(
 		repro.HashJoin{BuildRows: 8192, Buckets: 4096, Probes: 250, MatchFraction: 0.7, Instances: 1},
 		repro.Compute{Iters: 120000, Instances: 4},
 	)

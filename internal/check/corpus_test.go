@@ -1,0 +1,305 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/instrument"
+	"repro/internal/isa"
+	"repro/internal/sfi"
+)
+
+// TestSeededDefectCorpus is the negative corpus from the acceptance
+// criteria: for every rule, a seeded defect in an otherwise-sound image
+// that the checker must reject with a diagnostic naming that rule. Each
+// case starts from real pipeline output (or a hand-built program for the
+// structural rules) so the only unsoundness present is the seeded one —
+// except where a defect necessarily violates several rules at once,
+// noted per case.
+func TestSeededDefectCorpus(t *testing.T) {
+	type corpusCase struct {
+		name string
+		rule Rule
+		// build returns the inputs for one verification.
+		build func(t *testing.T) (orig, rew *isa.Program, oldToNew []int, opts Options)
+	}
+
+	identity := func(prog *isa.Program) []int {
+		m := make([]int, len(prog.Instrs))
+		for i := range m {
+			m[i] = i
+		}
+		return m
+	}
+	findInserted := func(t *testing.T, rew *isa.Program, oldToNew []int, op isa.Op) int {
+		t.Helper()
+		isOrig := make([]bool, len(rew.Instrs))
+		for _, nw := range oldToNew {
+			isOrig[nw] = true
+		}
+		for p, in := range rew.Instrs {
+			if !isOrig[p] && in.Op == op {
+				return p
+			}
+		}
+		t.Fatalf("no inserted %v in corpus program", op)
+		return -1
+	}
+
+	cases := []corpusCase{
+		{
+			// The PR-defining defect class: a yield whose save mask omits a
+			// live register. The runtime poisons unsaved registers on
+			// resume, so this is a silent architectural miscompile.
+			name: "liveness clobber: mask bit cleared on inserted yield",
+			rule: RuleLiveness,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig, final, oldToNew := instrumented(t, chaseSrc, 1)
+				p := findInserted(t, final, oldToNew, isa.OpYield)
+				// Drop r3 (the loop counter, live across the yield).
+				final.Instrs[p].Imm &^= int64(1) << 3
+				return orig, final, oldToNew, Options{}
+			},
+		},
+		{
+			name: "liveness clobber: scavenger cyield mask truncated",
+			rule: RuleLiveness,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig, final, oldToNew := instrumented(t, coalesceSrc, 2, 3, 4)
+				p := findInserted(t, final, oldToNew, isa.OpCYield)
+				final.Instrs[p].Imm = int64(1) << isa.SP // SP only; r2/r7 live
+				return orig, final, oldToNew, Options{}
+			},
+		},
+		{
+			name: "sfi violation: CHECK guards the wrong address",
+			rule: RuleSFI,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig, inst, oldToNew := instrumented(t, chaseSrc, 1)
+				sfiOpts := sfi.DefaultOptions()
+				hard, sres, err := sfi.Harden(inst, sfiOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				composed := make([]int, len(oldToNew))
+				for i, nw := range oldToNew {
+					composed[i] = sres.OldToNew[nw]
+				}
+				p := findInserted(t, hard, composed, isa.OpCheck)
+				hard.Instrs[p].Imm += 8 // guard no longer matches the access
+				return orig, hard, composed, Options{SFI: &sfiOpts}
+			},
+		},
+		{
+			name: "sfi violation: unhardened image checked under SFI options",
+			rule: RuleSFI,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig, final, oldToNew := instrumented(t, chaseSrc, 1)
+				sfiOpts := sfi.DefaultOptions()
+				return orig, final, oldToNew, Options{SFI: &sfiOpts}
+			},
+		},
+		{
+			name: "branch into insertion group: loop re-enters at the yield",
+			rule: RuleBranchTarget,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig, final, oldToNew := instrumented(t, chaseSrc, 1)
+				for p, in := range final.Instrs {
+					if in.Op == isa.OpJgt {
+						// Retarget one past the group start: execution would
+						// skip the prefetch the group exists to issue.
+						final.Instrs[p].Imm++
+						return orig, final, oldToNew, Options{}
+					}
+				}
+				t.Fatal("no loop branch in corpus program")
+				return nil, nil, nil, Options{}
+			},
+		},
+		{
+			name: "unreachable insertion group: instrumented dead code",
+			rule: RuleUnreachableGroup,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig := isa.MustAssemble(`
+                    movi r1, 64     ; 0
+                    jmp end         ; 1
+                dead:
+                    load r2, [r1]   ; 2: never executes
+                    halt            ; 3
+                end:
+                    halt            ; 4
+                `)
+				// A stale profile claims pc 2 is hot; a broken policy
+				// instruments it anyway.
+				rw := instrument.NewRewriter(orig)
+				rw.InsertBefore(2,
+					isa.Instr{Op: isa.OpPrefetch, Rs1: 1},
+					isa.Instr{Op: isa.OpYield, Imm: int64(isa.AllRegs)})
+				rew, oldToNew, err := rw.Apply()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return orig, rew, oldToNew, Options{}
+			},
+		},
+		{
+			name: "call discipline: RET reachable in the entry frame",
+			rule: RuleCallDiscipline,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				prog := isa.MustAssemble(`
+                    movi r1, 1
+                    ret             ; pops an empty return stack
+                `)
+				return prog, prog, identity(prog), Options{}
+			},
+		},
+		{
+			name: "call discipline: CALL rewritten to JMP leaks the callee",
+			rule: RuleCallDiscipline,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig := isa.MustAssemble(`
+                    call fn         ; 0
+                    halt            ; 1
+                fn:
+                    movi r1, 1      ; 2
+                    ret             ; 3
+                `)
+				rew := orig.Clone()
+				rew.Instrs[0].Op = isa.OpJmp // also violates original-changed
+				return orig, rew, identity(orig), Options{}
+			},
+		},
+		{
+			name: "original changed: immediate incremented",
+			rule: RuleOriginal,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig, final, oldToNew := instrumented(t, chaseSrc, 1)
+				final.Instrs[oldToNew[0]].Imm++
+				return orig, final, oldToNew, Options{}
+			},
+		},
+		{
+			name: "effect-free: insertion replaced by an ALU op",
+			rule: RuleEffectFree,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig, final, oldToNew := instrumented(t, chaseSrc, 1)
+				p := findInserted(t, final, oldToNew, isa.OpPrefetch)
+				final.Instrs[p] = isa.Instr{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: 1}
+				return orig, final, oldToNew, Options{}
+			},
+		},
+		{
+			name: "mapping: short",
+			rule: RuleMapping,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig, final, oldToNew := instrumented(t, chaseSrc, 1)
+				return orig, final, oldToNew[:2], Options{}
+			},
+		},
+		{
+			name: "mapping: non-monotone",
+			rule: RuleMapping,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig, final, oldToNew := instrumented(t, chaseSrc, 1)
+				bad := append([]int(nil), oldToNew...)
+				bad[2], bad[3] = bad[3], bad[2]
+				return orig, final, bad, Options{}
+			},
+		},
+		{
+			name: "yield policy: detached primary yield",
+			rule: RuleYieldPolicy,
+			build: func(t *testing.T) (*isa.Program, *isa.Program, []int, Options) {
+				orig := isa.MustAssemble(`
+                    movi r1, 64
+                    load r2, [r1]   ; 1
+                    halt
+                `)
+				// Yield inserted one instruction early: still effect-free
+				// and liveness-safe, but it exposes the MOVI, not the load.
+				rw := instrument.NewRewriter(orig)
+				rw.InsertBefore(1, isa.Instr{Op: isa.OpYield, Imm: int64(isa.AllRegs)},
+					isa.Instr{Op: isa.OpNop})
+				rew, oldToNew, err := rw.Apply()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return orig, rew, oldToNew, Options{}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig, rew, oldToNew, opts := tc.build(t)
+			rep := Program(orig, rew, oldToNew, opts)
+			if rep.Clean() {
+				t.Fatalf("seeded defect not detected")
+			}
+			if !rep.HasRule(tc.rule) {
+				t.Fatalf("defect found but not attributed to rule %q:\n%s", tc.rule, rep)
+			}
+		})
+	}
+}
+
+// TestEffectfulInsertionAlsoFlagsLivenessClobber: a tampered insertion
+// that writes a live register must surface both the structural violation
+// (effect-free) and its architectural consequence (liveness).
+func TestEffectfulInsertionAlsoFlagsLivenessClobber(t *testing.T) {
+	orig, final, oldToNew := instrumented(t, chaseSrc, 1)
+	isOrig := make([]bool, len(final.Instrs))
+	for _, nw := range oldToNew {
+		isOrig[nw] = true
+	}
+	seeded := false
+	for p, in := range final.Instrs {
+		if !isOrig[p] && in.Op == isa.OpPrefetch {
+			// r1 is the chase pointer, live everywhere in the loop.
+			final.Instrs[p] = isa.Instr{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: 1}
+			seeded = true
+			break
+		}
+	}
+	if !seeded {
+		t.Fatal("no inserted prefetch to corrupt")
+	}
+	rep := Program(orig, final, oldToNew, Options{})
+	if !rep.HasRule(RuleEffectFree) || !rep.HasRule(RuleLiveness) {
+		t.Fatalf("want effect-free and liveness findings, got:\n%s", rep)
+	}
+}
+
+// TestAccumulation: one pass over a multiply-corrupted image reports
+// every defect, not just the first.
+func TestAccumulation(t *testing.T) {
+	orig, final, oldToNew := instrumented(t, coalesceSrc, 2, 3, 4)
+	// Defect 1: altered original.
+	final.Instrs[oldToNew[0]].Imm++
+	// Defect 2: liveness-unsound yield mask.
+	isOrig := make([]bool, len(final.Instrs))
+	for _, nw := range oldToNew {
+		isOrig[nw] = true
+	}
+	for p, in := range final.Instrs {
+		if !isOrig[p] && in.Op == isa.OpYield {
+			final.Instrs[p].Imm &^= int64(1) << 7 // r7: loop counter
+			break
+		}
+	}
+	// Defect 3: branch into a group interior.
+	for p, in := range final.Instrs {
+		if in.Op == isa.OpJgt {
+			final.Instrs[p].Imm++
+			break
+		}
+	}
+	rep := Program(orig, final, oldToNew, Options{})
+	for _, rule := range []Rule{RuleOriginal, RuleLiveness, RuleBranchTarget} {
+		if !rep.HasRule(rule) {
+			t.Errorf("missing %q finding:\n%s", rule, rep)
+		}
+	}
+	if rep.Errors() < 3 {
+		t.Errorf("want >=3 errors, got %d:\n%s", rep.Errors(), rep)
+	}
+}

@@ -1,0 +1,262 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bincfg"
+	"repro/internal/instrument"
+	"repro/internal/isa"
+	"repro/internal/pebs"
+	"repro/internal/profile"
+)
+
+// genProgram assembles a random but well-formed kernel: straight-line
+// prologue, a counted loop with loads/stores/ALU ops, an optional
+// called function, halt. Registers r1..r7 carry data, r8 the loop
+// counter; branch structure is always reducible so the scavenger and
+// liveness analyses see realistic shapes.
+func genProgram(rng *rand.Rand) *isa.Program {
+	var b strings.Builder
+	reg := func() int { return 1 + rng.Intn(7) }
+	emitBody := func(n int) {
+		for i := 0; i < n; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				fmt.Fprintf(&b, "    load r%d, [r%d+%d]\n", reg(), reg(), 8*rng.Intn(4))
+			case 1:
+				fmt.Fprintf(&b, "    store [r%d+%d], r%d\n", reg(), 8*rng.Intn(4), reg())
+			case 2:
+				fmt.Fprintf(&b, "    add r%d, r%d, r%d\n", reg(), reg(), reg())
+			case 3:
+				fmt.Fprintf(&b, "    addi r%d, r%d, %d\n", reg(), reg(), rng.Intn(64))
+			case 4:
+				fmt.Fprintf(&b, "    mov r%d, r%d\n", reg(), reg())
+			default:
+				fmt.Fprintf(&b, "    muli r%d, r%d, %d\n", reg(), reg(), 1+rng.Intn(8))
+			}
+		}
+	}
+	withCall := rng.Intn(3) == 0
+	fmt.Fprintf(&b, "    movi r8, %d\n", 10+rng.Intn(100))
+	emitBody(rng.Intn(4))
+	if withCall {
+		b.WriteString("    call fn\n")
+	}
+	b.WriteString("loop:\n")
+	emitBody(1 + rng.Intn(8))
+	b.WriteString("    addi r8, r8, -1\n    cmpi r8, 0\n    jgt loop\n    halt\n")
+	if withCall {
+		b.WriteString("fn:\n")
+		emitBody(rng.Intn(3))
+		b.WriteString("    ret\n")
+	}
+	return isa.MustAssemble(b.String())
+}
+
+// genProfile marks a random subset of the program's loads (and stores)
+// hot with random intensities.
+func genProfile(rng *rand.Rand, prog *isa.Program) *profile.Profile {
+	var samples []pebs.Sample
+	for pc, in := range prog.Instrs {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		var retired, miss pebs.EventKind
+		switch in.Op {
+		case isa.OpLoad:
+			retired, miss = pebs.EvLoadRetired, pebs.EvLoadL3Miss
+		case isa.OpStore:
+			retired, miss = pebs.EvStoreRetired, pebs.EvStoreL3Miss
+		default:
+			continue
+		}
+		execs := uint64(100 + rng.Intn(1000))
+		misses := uint64(rng.Intn(int(execs) + 1))
+		samples = append(samples,
+			pebs.Sample{Event: retired, PC: pc, Weight: execs},
+			pebs.Sample{Event: miss, PC: pc, Weight: misses},
+			pebs.Sample{Event: pebs.EvStallCycle, PC: pc, Weight: misses * 250},
+		)
+	}
+	return profile.Build(len(prog.Instrs), samples, nil)
+}
+
+// genPipeline instruments a random program with random pipeline options.
+func genPipeline(t testing.TB, rng *rand.Rand) (orig, final *isa.Program, oldToNew []int) {
+	orig = genProgram(rng)
+	prof := genProfile(rng, orig)
+	opts := instrument.DefaultPipelineOptions()
+	opts.Primary.Coalesce = rng.Intn(2) == 0
+	opts.Primary.LiveMasks = rng.Intn(2) == 0
+	if rng.Intn(2) == 0 {
+		opts.Primary.Policy = instrument.AlwaysPolicy{}
+	}
+	if rng.Intn(4) == 0 {
+		opts.Scavenger = nil
+	} else {
+		opts.Scavenger.TargetInterval = uint64(20 + rng.Intn(400))
+		opts.Scavenger.LiveMasks = opts.Primary.LiveMasks
+	}
+	img, res, err := instrument.InstrumentImage(isa.Encode(orig), prof, opts)
+	if err != nil {
+		t.Fatalf("pipeline: %v\nprogram:\n%s", err, isa.Disassemble(orig))
+	}
+	return orig, isa.MustDecode(img), res.OldToNew
+}
+
+// TestFuzzPipelineAlwaysVerifies is the positive half of the fuzz
+// harness: across many random programs × profiles × pipeline options,
+// the checker accepts the pipeline's own output. A failure here is a
+// genuine instrumentation bug (or an over-strict rule).
+func TestFuzzPipelineAlwaysVerifies(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		orig, final, oldToNew := genPipeline(t, rng)
+		rep := Program(orig, final, oldToNew, Options{})
+		if !rep.Clean() {
+			t.Fatalf("seed %d: pipeline output rejected:\n%s\noriginal:\n%s\nrewritten:\n%s",
+				seed, rep, isa.Disassemble(orig), isa.Disassemble(final))
+		}
+	}
+}
+
+// mutation applies one seeded defect to final and returns the rules the
+// checker may attribute it to. ok=false means the mutation does not
+// apply to this program (e.g. no insertions to corrupt).
+type mutation struct {
+	name  string
+	apply func(rng *rand.Rand, final *isa.Program, oldToNew []int) (expect []Rule, ok bool)
+}
+
+func insertedPCs(final *isa.Program, oldToNew []int) []int {
+	isOrig := make([]bool, len(final.Instrs))
+	for _, nw := range oldToNew {
+		isOrig[nw] = true
+	}
+	var out []int
+	for p := range final.Instrs {
+		if !isOrig[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var mutations = []mutation{
+	{"clear live mask bit", func(rng *rand.Rand, final *isa.Program, oldToNew []int) ([]Rule, bool) {
+		live := bincfg.ComputeLiveness(bincfg.MustBuild(final))
+		var cands []int
+		for p, in := range final.Instrs {
+			if in.Op.IsYield() && live.LiveOut(p)&in.LiveMask() != 0 {
+				cands = append(cands, p)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, false
+		}
+		p := cands[rng.Intn(len(cands))]
+		need := live.LiveOut(p) & final.Instrs[p].LiveMask()
+		// Clear one register the program provably needs across the yield.
+		for r := isa.Reg(0); r < 16; r++ {
+			if need.Has(r) {
+				final.Instrs[p].Imm &^= int64(1) << r
+				return []Rule{RuleLiveness}, true
+			}
+		}
+		return nil, false
+	}},
+	{"alter original instruction", func(rng *rand.Rand, final *isa.Program, oldToNew []int) ([]Rule, bool) {
+		nw := oldToNew[rng.Intn(len(oldToNew))]
+		final.Instrs[nw].Imm += 3
+		// A branch immediate change may additionally break target closure.
+		return []Rule{RuleOriginal, RuleBranchTarget}, true
+	}},
+	{"effectful insertion", func(rng *rand.Rand, final *isa.Program, oldToNew []int) ([]Rule, bool) {
+		ins := insertedPCs(final, oldToNew)
+		if len(ins) == 0 {
+			return nil, false
+		}
+		p := ins[rng.Intn(len(ins))]
+		final.Instrs[p] = isa.Instr{Op: isa.OpAddI, Rd: isa.Reg(1 + rng.Intn(7)), Rs1: 1, Imm: 1}
+		return []Rule{RuleEffectFree, RuleLiveness, RuleYieldPolicy}, true
+	}},
+	{"branch into group", func(rng *rand.Rand, final *isa.Program, oldToNew []int) ([]Rule, bool) {
+		// Retarget a branch one past its group start; flagged as a broken
+		// branch target and/or an altered original.
+		for p, in := range final.Instrs {
+			if in.Op.IsConditional() {
+				final.Instrs[p].Imm++
+				return []Rule{RuleBranchTarget, RuleOriginal}, true
+			}
+		}
+		return nil, false
+	}},
+	{"shuffle mapping", func(rng *rand.Rand, final *isa.Program, oldToNew []int) ([]Rule, bool) {
+		if len(oldToNew) < 2 {
+			return nil, false
+		}
+		i := rng.Intn(len(oldToNew) - 1)
+		oldToNew[i], oldToNew[i+1] = oldToNew[i+1], oldToNew[i]
+		return []Rule{RuleMapping}, true
+	}},
+}
+
+// TestFuzzMutationsAreCaught is the negative half: a single random
+// defect injected into sound pipeline output must always be detected,
+// and attributed to one of the rules that class of defect can violate.
+func TestFuzzMutationsAreCaught(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		orig, final, oldToNew := genPipeline(t, rng)
+		m := mutations[rng.Intn(len(mutations))]
+		mapCopy := append([]int(nil), oldToNew...)
+		expect, ok := m.apply(rng, final, mapCopy)
+		if !ok {
+			continue
+		}
+		rep := Program(orig, final, mapCopy, Options{})
+		if rep.Clean() {
+			t.Fatalf("seed %d: mutation %q escaped detection\noriginal:\n%s\nrewritten:\n%s",
+				seed, m.name, isa.Disassemble(orig), isa.Disassemble(final))
+		}
+		attributed := false
+		for _, r := range expect {
+			if rep.HasRule(r) {
+				attributed = true
+				break
+			}
+		}
+		if !attributed {
+			t.Fatalf("seed %d: mutation %q detected but attributed to none of %v:\n%s",
+				seed, m.name, expect, rep)
+		}
+	}
+}
+
+// FuzzPipelineVerifies exposes the positive property to `go test
+// -fuzz`: arbitrary fuzzer-chosen seeds drive program/profile/option
+// generation, and the pipeline's output must verify clean.
+func FuzzPipelineVerifies(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		orig, final, oldToNew := genPipeline(t, rng)
+		rep := Program(orig, final, oldToNew, Options{})
+		if !rep.Clean() {
+			t.Fatalf("pipeline output rejected:\n%s\noriginal:\n%s", rep, isa.Disassemble(orig))
+		}
+	})
+}

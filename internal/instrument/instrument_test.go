@@ -2,6 +2,7 @@ package instrument
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -712,6 +713,39 @@ func TestVerifyRejectsTampering(t *testing.T) {
 	}
 	if err := Verify(prog, good, badMap[:2]); err == nil {
 		t.Error("short mapping accepted")
+	}
+}
+
+func TestVerifyAccumulatesViolations(t *testing.T) {
+	prog := isa.MustAssemble(coalesceSrc)
+	prof := chaseProfile(len(prog.Instrs), 2, 3, 4)
+	img, res, err := InstrumentImage(isa.Encode(prog), prof, DefaultPipelineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := isa.MustDecode(img)
+
+	// Seed two independent defects: an altered original and an effectful
+	// insertion. One Verify call must report both.
+	bad := good.Clone()
+	bad.Instrs[res.OldToNew[0]].Imm++
+	for i, in := range bad.Instrs {
+		if in.Op == isa.OpYield {
+			bad.Instrs[i] = isa.Instr{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: 1}
+			break
+		}
+	}
+	err = Verify(prog, bad, res.OldToNew)
+	var verr *VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("want *VerifyError, got %T (%v)", err, err)
+	}
+	rules := map[string]bool{}
+	for _, v := range verr.Violations {
+		rules[v.Rule] = true
+	}
+	if !rules["original-changed"] || !rules["effect-free"] {
+		t.Errorf("want both original-changed and effect-free violations, got %v", verr.Violations)
 	}
 }
 

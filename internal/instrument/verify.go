@@ -2,9 +2,44 @@ package instrument
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/isa"
 )
+
+// Violation is one rule breach found by Verify. Rule names match the
+// diagnostic rules of internal/check, which consumes the same facts but
+// proves deeper properties (liveness, SFI, reachability).
+type Violation struct {
+	Rule  string `json:"rule"`
+	OldPC int    `json:"old_pc"` // original-program index, -1 when not applicable
+	NewPC int    `json:"new_pc"` // rewritten-program index, -1 when not applicable
+	Msg   string `json:"msg"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] old=%d new=%d: %s", v.Rule, v.OldPC, v.NewPC, v.Msg)
+}
+
+// VerifyError aggregates every violation Verify found, so a broken
+// rewrite reports its full damage in one pass instead of one finding per
+// run.
+type VerifyError struct {
+	Violations []Violation
+}
+
+func (e *VerifyError) Error() string {
+	if len(e.Violations) == 1 {
+		return "instrument: verify: " + e.Violations[0].String()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "instrument: verify: %d violations:", len(e.Violations))
+	for _, v := range e.Violations {
+		b.WriteString("\n\t")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
 
 // Verify statically checks that an instrumented program is a sound
 // rewrite of the original — the validation pass a production binary
@@ -19,51 +54,72 @@ import (
 //     an original target (no branch lands inside a different insertion
 //     group).
 //
-// Together with the runtime semantics tests these make a silent
-// miscompile — the failure mode that ruins PGO deployments — structurally
-// detectable.
+// All violations are accumulated and returned as one *VerifyError; a nil
+// return means the rewrite is positionally sound. Together with the
+// runtime semantics tests these make a silent miscompile — the failure
+// mode that ruins PGO deployments — structurally detectable. The deeper
+// semantic properties (yield-mask liveness, SFI guard discipline,
+// call/ret closure, insertion-group reachability) are proved by
+// internal/check on top of the same mapping.
 func Verify(orig, rewritten *isa.Program, oldToNew []int) error {
+	var viols []Violation
+	add := func(rule string, oldPC, newPC int, format string, args ...any) {
+		viols = append(viols, Violation{Rule: rule, OldPC: oldPC, NewPC: newPC,
+			Msg: fmt.Sprintf(format, args...)})
+	}
+
 	if len(oldToNew) != len(orig.Instrs) {
-		return fmt.Errorf("instrument: verify: mapping covers %d of %d instructions",
-			len(oldToNew), len(orig.Instrs))
+		add("mapping", -1, -1, "mapping covers %d of %d instructions", len(oldToNew), len(orig.Instrs))
+		return &VerifyError{Violations: viols}
 	}
 	if err := rewritten.Validate(); err != nil {
-		return fmt.Errorf("instrument: verify: rewritten program invalid: %w", err)
+		add("mapping", -1, -1, "rewritten program invalid: %v", err)
+		return &VerifyError{Violations: viols}
 	}
 
 	// groupStart[i] = start of old instruction i's insertion group: the
 	// end of the previous original instruction's image.
-	groupStart := make(map[int]int, len(orig.Instrs))
+	n := len(orig.Instrs)
+	groupStart := make([]int, n)
 	prevEnd := 0
+	monotone := true
 	for i, nw := range oldToNew {
-		if nw < prevEnd {
-			return fmt.Errorf("instrument: verify: mapping not monotone at %d", i)
+		if nw < prevEnd || nw >= len(rewritten.Instrs) {
+			add("mapping", i, nw, "mapping not monotone or out of range")
+			monotone = false
+			break
 		}
 		groupStart[i] = prevEnd
 		prevEnd = nw + 1
 	}
+	if !monotone {
+		// The group layout is meaningless past the first mapping break;
+		// later rules would only cascade noise.
+		return &VerifyError{Violations: viols}
+	}
 
 	isOriginal := make([]bool, len(rewritten.Instrs))
-	validTargets := make(map[int]bool, len(orig.Instrs))
+	validTarget := make([]bool, len(rewritten.Instrs))
 	for _, gs := range groupStart {
-		validTargets[gs] = true
+		validTarget[gs] = true
 	}
 
 	// Rule 1: originals in place (modulo branch-target remapping).
 	for i, in := range orig.Instrs {
 		nw := oldToNew[i]
-		if nw >= len(rewritten.Instrs) {
-			return fmt.Errorf("instrument: verify: instruction %d mapped past the end", i)
-		}
 		got := rewritten.Instrs[nw]
 		isOriginal[nw] = true
 		want := in
 		if in.Op.IsBranch() {
-			want.Imm = int64(groupStart[in.Target()])
+			t := in.Target()
+			if t < 0 || t >= n {
+				add("mapping", i, nw, "original branch target %d outside program", t)
+				continue
+			}
+			want.Imm = int64(groupStart[t])
 		}
 		if got != want {
-			return fmt.Errorf("instrument: verify: instruction %d changed: %v -> %v (at %d)",
-				i, in, got, nw)
+			add("original-changed", i, nw, "instruction changed: %v -> %v", in, got)
 		}
 	}
 
@@ -75,16 +131,18 @@ func Verify(orig, rewritten *isa.Program, oldToNew []int) error {
 		switch in.Op {
 		case isa.OpNop, isa.OpPrefetch, isa.OpYield, isa.OpCYield, isa.OpCheck:
 		default:
-			return fmt.Errorf("instrument: verify: inserted instruction %d (%v) is not effect-free", i, in)
+			add("effect-free", -1, i, "inserted instruction (%v) is not effect-free", in)
 		}
 	}
 
 	// Rule 3: all branches land on group starts of original targets.
 	for i, in := range rewritten.Instrs {
-		if in.Op.IsBranch() && !validTargets[in.Target()] {
-			return fmt.Errorf("instrument: verify: branch at %d targets %d, not a remapped original target",
-				i, in.Target())
+		if in.Op.IsBranch() && !validTarget[in.Target()] {
+			add("branch-target", -1, i, "branch targets %d, not a remapped original target", in.Target())
 		}
+	}
+	if viols != nil {
+		return &VerifyError{Violations: viols}
 	}
 	return nil
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# lint.sh — gating static-analysis entry point.
+#
+# Builds the repository's custom vet tool (shlint: detlint +
+# metricsguard, see tools/analyzers/) and runs it over every package
+# via the go command's vettool protocol, so the analyzers see each
+# package fully type-checked against the same export data the build
+# uses. Exits nonzero on any finding; CI gates merges on this script.
+#
+# Usage:  scripts/lint.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mkdir -p bin
+go build -o bin/shlint repro/tools/analyzers/shlint
+
+echo "== shlint (detlint + metricsguard) =="
+go vet -vettool="$(pwd)/bin/shlint" ./...
+echo "shlint: all packages clean"

@@ -1,0 +1,122 @@
+// Package detlint enforces the repository's determinism contract in
+// cycle-domain packages (internal/{mem,cpu,exec,sched,pebs}): every
+// simulated run with the same seed must be bit-identical, so those
+// packages must not iterate maps in an order-sensitive way, read wall
+// clocks, or draw from the global (process-seeded) random source.
+//
+// The rule set is deliberately blunt — each construct it flags has
+// caused (or would cause) a real nondeterminism bug:
+//
+//   - range over a map: map iteration order is randomized per run. The
+//     PR-1 reclaim bug was exactly this — cache fills were installed in
+//     map-iteration order, so eviction decisions differed across runs
+//     with identical seeds. Iterate a sorted slice instead (see
+//     internal/mem/fills.go).
+//   - time.Now / time.Since / time.Until: wall-clock reads leak host
+//     timing into the cycle domain. Simulated time is the only clock.
+//   - importing math/rand or math/rand/v2: the global source is seeded
+//     per process. Randomness must come from the scenario's explicitly
+//     seeded generator, threaded in by the caller.
+//
+// Test files are exempt: tests may time themselves and build throwaway
+// maps without affecting simulation results.
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/analyzers/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "detlint",
+	Doc: "forbid nondeterminism sources (map iteration, wall clocks, global rand) in cycle-domain packages\n\n" +
+		"Applies to packages under internal/ whose name is one of mem, cpu, exec, sched, pebs.",
+	Run: run,
+}
+
+// cycleDomain lists the package base names under internal/ whose
+// computations feed simulated state. Keep in sync with ARCHITECTURE.md
+// §9 and the determinism test matrix.
+var cycleDomain = map[string]bool{
+	"mem":   true,
+	"cpu":   true,
+	"exec":  true,
+	"sched": true,
+	"pebs":  true,
+}
+
+func inCycleDomain(importPath string) bool {
+	if !strings.Contains(importPath+"/", "/internal/") {
+		return false
+	}
+	base := importPath
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return cycleDomain[base]
+}
+
+func run(pass *framework.Pass) error {
+	if !inCycleDomain(pass.ImportPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		checkFile(pass, file)
+	}
+	return nil
+}
+
+func checkFile(pass *framework.Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(imp.Pos(),
+				"import of %s in cycle-domain package: the global source is process-seeded; thread the scenario's seeded rng instead", path)
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); ok {
+				pass.Reportf(n.Pos(),
+					"range over map in cycle-domain package: iteration order is randomized per run; iterate a sorted slice instead")
+			}
+		case *ast.SelectorExpr:
+			if obj := timeFunc(pass.TypesInfo, n); obj != "" {
+				pass.Reportf(n.Pos(),
+					"call of time.%s in cycle-domain package: wall-clock reads are nondeterministic; use simulated cycles", obj)
+			}
+		}
+		return true
+	})
+}
+
+// timeFunc reports the name of the forbidden time-package function a
+// selector refers to, or "" if it is something else.
+func timeFunc(info *types.Info, sel *ast.SelectorExpr) string {
+	switch sel.Sel.Name {
+	case "Now", "Since", "Until":
+	default:
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "time" {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,179 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON the go command writes to $WORK/.../vet.cfg
+// before invoking a -vettool binary (cmd/go/internal/work.vetConfig).
+// Field names must match exactly; unknown fields are ignored on both
+// sides, so this stays compatible across toolchain versions.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary: it speaks the protocol
+// the go command expects from `go vet -vettool=<bin>`.
+//
+//   - `<bin> -V=full` must print "<name> version <ver>" so the go
+//     command can derive a cache-busting tool ID (cmd/go/internal/work
+//     rejects "devel" versions and anything else it cannot parse).
+//   - Otherwise the last argument is the path to a vet.cfg JSON file
+//     describing one package unit. The tool type-checks the unit
+//     against the export data the go command already built (ImportMap
+//   - PackageFile), runs the analyzers, prints findings as
+//     "file:line:col: message" on stderr and exits 2 if there were
+//     any. VetxOutput must be written even though we export no facts —
+//     the go command reads it back to cache the (empty) fact set.
+func Main(analyzers ...*Analyzer) {
+	name := filepath.Base(os.Args[0])
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		// The version string feeds the build cache key; bump it when
+		// analyzer semantics change so stale clean verdicts are evicted.
+		fmt.Printf("%s version 1.0\n", strings.TrimSuffix(name, ".exe"))
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		// go vet probes the tool's flag set to decide which command-line
+		// flags to forward. We define none.
+		fmt.Println("[]")
+		return
+	}
+	var cfgPath string
+	for _, a := range os.Args[1:] {
+		if strings.HasSuffix(a, ".cfg") {
+			cfgPath = a
+		}
+	}
+	if cfgPath == "" {
+		fmt.Fprintf(os.Stderr, "usage: %s vet.cfg  (invoked by `go vet -vettool=%s`)\n", name, name)
+		fmt.Fprintf(os.Stderr, "registered analyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		os.Exit(1)
+	}
+	diags, fset, err := runUnit(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
+		os.Exit(2)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func runUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// The go command reads VetxOutput back after a successful run to
+	// cache the unit's exported facts. We export none, so an empty file
+	// is the correct serialization.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Dependency units are vetted only for their facts; with no facts
+	// to compute there is nothing to do.
+	if cfg.VetxOnly {
+		return nil, nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compiler, "amd64"),
+		Error:    func(error) {}, // collect via the Check return, not per-error
+	}
+	if v := cfg.GoVersion; strings.HasPrefix(v, "go") {
+		tc.GoVersion = v
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		return nil, nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags, err := Analyze(cfg.ImportPath, fset, files, pkg, info, analyzers...)
+	return diags, fset, err
+}

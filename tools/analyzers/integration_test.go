@@ -1,0 +1,92 @@
+// Package analyzers_test exercises the full vettool protocol: it
+// builds the real shlint binary and runs `go vet -vettool=shlint` over
+// the fixture module in testdata/detlintmod, asserting that the
+// cycle-domain package is rejected with rule-identifying diagnostics
+// and the control package passes. This is the one test that proves the
+// unitchecker handshake (-V=full, -flags, vet.cfg, vet.out) against
+// the actual go command rather than a reimplementation of it.
+package analyzers_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildShlint compiles the vettool into t.TempDir and returns its path.
+func buildShlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "shlint")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/tools/analyzers/shlint")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building shlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // tools/analyzers -> repo root
+}
+
+func runVet(t *testing.T, vettool, dir string, pkgs ...string) (string, error) {
+	t.Helper()
+	args := append([]string{"vet", "-vettool=" + vettool}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+func TestVettoolFlagsFixtureModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and invokes the go command")
+	}
+	shlint := buildShlint(t)
+	fixture := filepath.Join(repoRoot(t), "tools", "analyzers", "testdata", "detlintmod")
+
+	out, err := runVet(t, shlint, fixture, "./...")
+	if err == nil {
+		t.Fatalf("go vet should fail on the fixture module; output:\n%s", out)
+	}
+	for _, want := range []string{
+		"reclaim.go",
+		"range over map",
+		"time.Now",
+		"math/rand",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vet output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ok.go") || strings.Contains(out, "profile") {
+		t.Errorf("control package outside the cycle domain was flagged:\n%s", out)
+	}
+}
+
+func TestVettoolPassesControlPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and invokes the go command")
+	}
+	shlint := buildShlint(t)
+	fixture := filepath.Join(repoRoot(t), "tools", "analyzers", "testdata", "detlintmod")
+
+	out, err := runVet(t, shlint, fixture, "./internal/profile/")
+	if err != nil {
+		t.Fatalf("clean package rejected: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("expected silent pass, got:\n%s", out)
+	}
+}

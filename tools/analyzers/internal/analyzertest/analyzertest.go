@@ -1,0 +1,141 @@
+// Package analyzertest type-checks small fixture sources against
+// synthesized dependency packages and runs analyzers over them
+// in-process. The synthesized packages exist because these tests run
+// offline: go/importer cannot load real export data for "time" or
+// "math/rand" without invoking the build system, and the fixtures only
+// need the handful of names the analyzers match on.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"testing"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Check parses and type-checks the given files (name → source) as one
+// package with the given import path, resolving imports from deps, and
+// returns the diagnostics of the analyzers in positional order.
+func Check(t *testing.T, importPath string, files map[string]string,
+	deps map[string]*types.Package, analyzers ...*framework.Analyzer) []framework.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	conf := &types.Config{Importer: mapImporter(deps)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(importPath, fset, parsed, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", importPath, err)
+	}
+	diags, err := framework.Analyze(importPath, fset, parsed, pkg, info, analyzers...)
+	if err != nil {
+		t.Fatalf("analyzing fixture %s: %v", importPath, err)
+	}
+	return diags
+}
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("fixture import %q not stubbed", path)
+}
+
+// FuncsPackage synthesizes a complete package exporting the named
+// niladic functions — enough for analyzers that match on selector
+// names rather than signatures.
+func FuncsPackage(path, name string, funcs ...string) *types.Package {
+	pkg := types.NewPackage(path, name)
+	for _, fn := range funcs {
+		sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+		pkg.Scope().Insert(types.NewFunc(token.NoPos, pkg, fn, sig))
+	}
+	pkg.MarkComplete()
+	return pkg
+}
+
+// Time stubs the "time" package with the wall-clock readers detlint
+// forbids, with realistic shapes: Now() Time, Since/Until(Time) Duration.
+func Time() *types.Package {
+	pkg := types.NewPackage("time", "time")
+	timeObj := types.NewTypeName(token.NoPos, pkg, "Time", nil)
+	timeT := types.NewNamed(timeObj, types.NewStruct(nil, nil), nil)
+	durObj := types.NewTypeName(token.NoPos, pkg, "Duration", nil)
+	durT := types.NewNamed(durObj, types.Typ[types.Int64], nil)
+	pkg.Scope().Insert(timeObj)
+	pkg.Scope().Insert(durObj)
+	result := func(t types.Type) *types.Tuple {
+		return types.NewTuple(types.NewVar(token.NoPos, pkg, "", t))
+	}
+	param := func(t types.Type) *types.Tuple {
+		return types.NewTuple(types.NewVar(token.NoPos, pkg, "t", t))
+	}
+	pkg.Scope().Insert(types.NewFunc(token.NoPos, pkg, "Now",
+		types.NewSignatureType(nil, nil, nil, nil, result(timeT), false)))
+	for _, fn := range []string{"Since", "Until"} {
+		pkg.Scope().Insert(types.NewFunc(token.NoPos, pkg, fn,
+			types.NewSignatureType(nil, nil, nil, param(timeT), result(durT), false)))
+	}
+	pkg.MarkComplete()
+	return pkg
+}
+
+// Rand stubs "math/rand" with Intn(int) int.
+func Rand() *types.Package {
+	pkg := types.NewPackage("math/rand", "rand")
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, pkg, "n", types.Typ[types.Int])),
+		types.NewTuple(types.NewVar(token.NoPos, pkg, "", types.Typ[types.Int])), false)
+	pkg.Scope().Insert(types.NewFunc(token.NoPos, pkg, "Intn", sig))
+	pkg.MarkComplete()
+	return pkg
+}
+
+// Metrics stubs repro/internal/metrics with a Registry struct carrying
+// one uint64 counter field, matching what metricsguard keys on.
+func Metrics() *types.Package {
+	pkg := types.NewPackage("repro/internal/metrics", "metrics")
+	obj := types.NewTypeName(token.NoPos, pkg, "Registry", nil)
+	fields := []*types.Var{
+		types.NewField(token.NoPos, pkg, "Hides", types.Typ[types.Uint64], false),
+		types.NewField(token.NoPos, pkg, "Faults", types.Typ[types.Uint64], false),
+	}
+	types.NewNamed(obj, types.NewStruct(fields, nil), nil)
+	pkg.Scope().Insert(obj)
+	pkg.MarkComplete()
+	return pkg
+}
+
+// Messages flattens diagnostics to "analyzer: message" strings for
+// simple substring assertions.
+func Messages(diags []framework.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+// Package metricsguard verifies that every access through a
+// *repro/internal/metrics.Registry pointer is nil-guarded. The
+// observability contract (ARCHITECTURE.md §8) is that metrics are
+// strictly opt-in: a nil registry means "off", and every bump site in
+// the cycle domain must tolerate it. A single unguarded site panics
+// only in the configurations that don't enable metrics — exactly the
+// ones the test matrix exercises least.
+//
+// Two guard idioms are recognized, matching the repository's style:
+//
+//	if m := e.Cfg.Metrics; m != nil { m.Episodes++ }   // guarded block
+//	m := e.Cfg.Metrics
+//	if m == nil { return }                             // early return
+//	m.Episodes++
+//
+// including `&&` conjunctions (`if m != nil && enabled {...}`), `||`
+// disjunctions in early returns (`if m == nil || done { return }` does
+// NOT guard — only `if m == nil || other == nil { return }` guards
+// both), and else-branches of `if m == nil {...} else {...}`.
+// Reassigning a guarded variable drops its guard. Test files and the
+// metrics package itself (whose methods legitimately use their
+// receiver) are exempt.
+package metricsguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/tools/analyzers/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "metricsguard",
+	Doc: "require nil guards on every use of a *metrics.Registry\n\n" +
+		"A nil registry disables observability; unguarded bump sites panic in metrics-off configurations.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/metrics") {
+		return nil // the registry's own methods use their receiver freely
+	}
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.stmts(fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *framework.Pass
+}
+
+// isRegistryPtr reports whether t is *metrics.Registry (matched by
+// package-path suffix so vendored or test-stub copies also count).
+func isRegistryPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/metrics")
+}
+
+// stmts walks a statement sequence with the set of guarded registry
+// expressions (keyed by types.ExprString). Guards established by an
+// early-return nil check extend to the statements that follow it;
+// guards from an `if x != nil` condition cover only its body, which is
+// handled in stmt.
+func (c *checker) stmts(list []ast.Stmt, guarded map[string]bool) {
+	g := clone(guarded)
+	for _, s := range list {
+		c.stmt(s, g)
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			// `if x == nil { return }` guards everything after it,
+			// provided the body cannot fall through and there is no else.
+			if s.Else == nil && s.Init == nil && terminates(s.Body) {
+				for _, e := range nilCompares(s.Cond, token.EQL, token.LOR) {
+					g[e] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				delete(g, types.ExprString(lhs)) // reassignment invalidates the guard
+			}
+		}
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, g map[string]bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, g)
+		}
+		c.expr(s.Cond, g)
+		bodyG := clone(g)
+		for _, e := range nilCompares(s.Cond, token.NEQ, token.LAND) {
+			bodyG[e] = true
+		}
+		// `if m := expr; m != nil` also proves expr itself non-nil.
+		if as, ok := s.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE &&
+			len(as.Lhs) == 1 && len(as.Rhs) == 1 && bodyG[types.ExprString(as.Lhs[0])] {
+			bodyG[types.ExprString(as.Rhs[0])] = true
+		}
+		c.stmts(s.Body.List, bodyG)
+		if s.Else != nil {
+			elseG := clone(g)
+			for _, e := range nilCompares(s.Cond, token.EQL, token.LOR) {
+				elseG[e] = true
+			}
+			c.stmt(s.Else, elseG)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, g)
+	case *ast.ForStmt:
+		c.stmt(s.Init, g)
+		c.expr(s.Cond, g)
+		c.stmt(s.Post, g)
+		c.stmts(s.Body.List, g)
+	case *ast.RangeStmt:
+		c.expr(s.X, g)
+		c.stmts(s.Body.List, g)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init, g)
+		c.expr(s.Tag, g)
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CaseClause)
+			for _, e := range cl.List {
+				c.expr(e, g)
+			}
+			c.stmts(cl.Body, g)
+		}
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init, g)
+		c.stmt(s.Assign, g)
+		for _, cc := range s.Body.List {
+			c.stmts(cc.(*ast.CaseClause).Body, g)
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CommClause)
+			c.stmt(cl.Comm, g)
+			c.stmts(cl.Body, g)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, g)
+	case *ast.DeferStmt:
+		c.expr(s.Call, g)
+	case *ast.GoStmt:
+		c.expr(s.Call, g)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, g)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, g)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, g)
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, g)
+	case *ast.ExprStmt:
+		c.expr(s.X, g)
+	case *ast.SendStmt:
+		c.expr(s.Chan, g)
+		c.expr(s.Value, g)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.expr(e, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr flags selector uses `X.f` where X is a *metrics.Registry not in
+// the guarded set. Function literals are analyzed as statement bodies
+// inheriting the enclosing guards (the captured pointer cannot become
+// nil once proven non-nil, short of an explicit reassignment, which
+// stmts handles).
+func (c *checker) expr(e ast.Expr, g map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.stmts(n.Body.List, g)
+			return false
+		case *ast.SelectorExpr:
+			if isRegistryPtr(c.pass.TypesInfo.TypeOf(n.X)) {
+				key := types.ExprString(n.X)
+				if !g[key] {
+					c.pass.Reportf(n.Pos(),
+						"unguarded use of metrics registry %s (may be nil when observability is off): wrap in `if m := %s; m != nil { ... }` or add an early nil return",
+						key, key)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// nilCompares collects the non-nil operands of `x <op> nil` comparisons
+// joined by the given logical operator, e.g. (NEQ, LAND) matches the
+// x's of `x != nil && y != nil`, and (EQL, LOR) the x's of
+// `x == nil || y == nil`. Parentheses are transparent.
+func nilCompares(e ast.Expr, op, join token.Token) []string {
+	var out []string
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case join:
+				walk(e.X)
+				walk(e.Y)
+			case op:
+				if isNilIdent(e.Y) {
+					out = append(out, types.ExprString(e.X))
+				} else if isNilIdent(e.X) {
+					out = append(out, types.ExprString(e.Y))
+				}
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block always transfers control away:
+// its last statement is a return, branch (break/continue/goto), or
+// panic call.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func clone(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

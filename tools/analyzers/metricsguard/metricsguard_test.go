@@ -1,0 +1,198 @@
+package metricsguard
+
+import (
+	"strings"
+	"testing"
+
+	"go/types"
+
+	"repro/tools/analyzers/internal/analyzertest"
+)
+
+func deps() map[string]*types.Package {
+	return map[string]*types.Package{
+		"repro/internal/metrics": analyzertest.Metrics(),
+	}
+}
+
+func check(t *testing.T, src string) []string {
+	t.Helper()
+	diags := analyzertest.Check(t, "repro/internal/exec",
+		map[string]string{"fixture.go": src}, deps(), Analyzer)
+	return analyzertest.Messages(diags)
+}
+
+const header = `package exec
+
+import "repro/internal/metrics"
+
+type Config struct {
+	Metrics *metrics.Registry
+}
+
+type Executor struct {
+	Cfg Config
+}
+`
+
+func TestUnguardedUseFlagged(t *testing.T) {
+	msgs := check(t, header+`
+func (e *Executor) bad() {
+	e.Cfg.Metrics.Hides++
+}
+
+func alsoBad(m *metrics.Registry) uint64 {
+	return m.Faults
+}
+`)
+	if len(msgs) != 2 {
+		t.Fatalf("want 2 diagnostics, got %v", msgs)
+	}
+	if !strings.Contains(msgs[0], "e.Cfg.Metrics") || !strings.Contains(msgs[1], "registry m") {
+		t.Fatalf("diagnostics should name the unguarded expression: %v", msgs)
+	}
+}
+
+func TestGuardIdiomsAccepted(t *testing.T) {
+	msgs := check(t, header+`
+func (e *Executor) ifInitAlias() {
+	if m := e.Cfg.Metrics; m != nil {
+		m.Hides++
+		e.Cfg.Metrics.Faults++ // the alias proves the source expression too
+	}
+}
+
+func (e *Executor) directGuard() {
+	if e.Cfg.Metrics != nil {
+		e.Cfg.Metrics.Hides++
+	}
+}
+
+func (e *Executor) earlyReturn() {
+	m := e.Cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Hides++
+}
+
+func (e *Executor) conjunction(on bool) {
+	if m := e.Cfg.Metrics; m != nil && on {
+		m.Faults++
+	}
+}
+
+func (e *Executor) disjunctionReturn(other *metrics.Registry) {
+	m := e.Cfg.Metrics
+	if m == nil || other == nil {
+		return
+	}
+	m.Hides += other.Faults
+}
+
+func (e *Executor) elseBranch() {
+	m := e.Cfg.Metrics
+	if m == nil {
+		_ = m
+	} else {
+		m.Hides++
+	}
+}
+
+func (e *Executor) closureInheritsGuard() func() {
+	m := e.Cfg.Metrics
+	if m == nil {
+		return nil
+	}
+	return func() { m.Hides++ }
+}
+
+func (e *Executor) panicGuard() {
+	m := e.Cfg.Metrics
+	if m == nil {
+		panic("metrics required")
+	}
+	m.Hides++
+}
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("want no diagnostics for guarded idioms, got %v", msgs)
+	}
+}
+
+func TestGuardDoesNotLeak(t *testing.T) {
+	msgs := check(t, header+`
+func (e *Executor) guardEndsWithBlock() {
+	if m := e.Cfg.Metrics; m != nil {
+		m.Hides++
+	}
+	e.Cfg.Metrics.Faults++ // guard above does not cover this
+}
+
+func (e *Executor) disjunctionWithNonNilArm(done bool) {
+	m := e.Cfg.Metrics
+	if m == nil || done {
+		return
+	}
+	// Reaching here does prove m != nil (both arms false), so this is
+	// fine — but the reverse conjunction must not be treated as a guard:
+	m.Hides++
+}
+
+func (e *Executor) reassignmentDropsGuard() {
+	m := e.Cfg.Metrics
+	if m == nil {
+		return
+	}
+	m = nil
+	m.Hides++ // flagged: m was reassigned after the guard
+}
+
+func (e *Executor) conditionOnlyGuardsBody(on bool) {
+	if e.Cfg.Metrics != nil && on {
+		_ = on
+	}
+	e.Cfg.Metrics.Hides++ // flagged: the if body ended
+}
+`)
+	want := []string{"guardEndsWithBlock", "reassignment", "conditionOnlyGuardsBody"}
+	if len(msgs) != len(want) {
+		t.Fatalf("want %d diagnostics, got %v", len(want), msgs)
+	}
+}
+
+func TestNonDerefUsesAllowed(t *testing.T) {
+	msgs := check(t, header+`
+func sink(m *metrics.Registry) {}
+
+func (e *Executor) passingThePointerIsFine() {
+	sink(e.Cfg.Metrics)           // handing the pointer off: fine
+	_ = e.Cfg.Metrics == nil      // comparing: fine
+	var m *metrics.Registry       // declaring: fine
+	_ = m
+}
+`)
+	// sink's body is empty so its parameter is never dereferenced.
+	if len(msgs) != 0 {
+		t.Fatalf("want no diagnostics, got %v", msgs)
+	}
+}
+
+func TestTestFilesAndMetricsPackageExempt(t *testing.T) {
+	src := header + `
+func (e *Executor) bump() {
+	e.Cfg.Metrics.Hides++
+}
+`
+	diags := analyzertest.Check(t, "repro/internal/exec",
+		map[string]string{"fixture_test.go": src}, deps(), Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("test files should be exempt, got %v", analyzertest.Messages(diags))
+	}
+	diags = analyzertest.Check(t, "repro/internal/metrics",
+		map[string]string{"registry2.go": src}, deps(), Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("the metrics package itself should be exempt, got %v",
+			analyzertest.Messages(diags))
+	}
+}

@@ -1,0 +1,22 @@
+// Command shlint is the repository's custom vet tool. It bundles the
+// project-specific analyzers — detlint (determinism contract in
+// cycle-domain packages) and metricsguard (nil-guarded metrics
+// registry uses) — behind the `go vet -vettool` protocol:
+//
+//	go build -o bin/shlint repro/tools/analyzers/shlint
+//	go vet -vettool=$(pwd)/bin/shlint ./...
+//
+// scripts/lint.sh wraps exactly that invocation and is the gating CI
+// entry point. See the analyzer package docs for what each check
+// enforces and why.
+package main
+
+import (
+	"repro/tools/analyzers/detlint"
+	"repro/tools/analyzers/framework"
+	"repro/tools/analyzers/metricsguard"
+)
+
+func main() {
+	framework.Main(detlint.Analyzer, metricsguard.Analyzer)
+}

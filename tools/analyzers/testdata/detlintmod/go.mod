@@ -1,0 +1,3 @@
+module detlintfixture
+
+go 1.22

@@ -1,0 +1,15 @@
+// Package profile is the negative control: identical constructs
+// outside the cycle domain must not be flagged.
+package profile
+
+import "time"
+
+// Aggregate may use maps and clocks freely — it runs outside the
+// simulated cycle domain.
+func Aggregate(samples map[int]uint64) (uint64, time.Time) {
+	var total uint64
+	for _, w := range samples {
+		total += w
+	}
+	return total, time.Now()
+}
