@@ -233,3 +233,32 @@ func BenchmarkCoreSimulator(b *testing.B) {
 	}
 	b.ReportMetric(float64(retired), "instrs/run")
 }
+
+// BenchmarkCoreSimulatorALU measures simulator throughput on an
+// ALU-dominated workload, the shape the block fast-path engine
+// accelerates: long straight-line compute bodies with loop control, the
+// kind of code that dominates retired instructions between yields. The
+// pointer chase above is memory-bound (hierarchy modeling dominates);
+// this one is dispatch-bound, so its step rate tracks the execution
+// engine itself.
+func BenchmarkCoreSimulatorALU(b *testing.B) {
+	h, err := NewHarness(DefaultMachine(), UnrolledCompute{BlockInstrs: 64, Iters: 2000, Instances: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := h.Baseline()
+	b.ResetTimer()
+	var retired uint64
+	for i := 0; i < b.N; i++ {
+		ts, err := h.Tasks(img, "unrolled", Primary, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := h.NewExecutor(img, ExecConfig{}).RunSolo(ts.Tasks[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired = st.Retired
+	}
+	b.ReportMetric(float64(retired), "instrs/run")
+}

@@ -1,0 +1,63 @@
+package bincfg
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// This file derives the fast-path run set for the basic-block execution
+// engine (cpu.RunBlock) from CFG analysis. It is cycle-domain adjacent:
+// the run set feeds the block plan that decides how the simulated clock
+// advances, so the determinism contract (no map iteration, no wall
+// clock, no global rand) applies — detlint checks this file by name.
+
+// fastPathStopper reports whether an instruction ends a straight-line
+// run for the block engine. CFG block boundaries already stop at
+// branches, calls, rets and halts; yields additionally stop runs because
+// the executor must regain control at every yield to make its switch
+// decision (paper §3.1 — yields are the scheduling points).
+func fastPathStopper(op isa.Op) bool {
+	return op.IsBranch() || op == isa.OpRet || op == isa.OpHalt || op.IsYield()
+}
+
+// FastPathRuns derives the straight-line runs of prog for the block
+// engine: maximal instruction ranges containing no branch, call, ret,
+// halt or yield. Each CFG basic block contributes its instructions split
+// at yield points, with stopper instructions themselves excluded (the
+// engine dispatches them individually). The returned runs are sorted by
+// start and non-overlapping; install them with cpu.Core.InstallPlan.
+func FastPathRuns(prog *isa.Program) ([]cpu.BlockRun, error) {
+	g, err := Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	var runs []cpu.BlockRun
+	for _, b := range g.Blocks {
+		start := b.Start
+		for pc := b.Start; pc < b.End; pc++ {
+			if fastPathStopper(prog.Instrs[pc].Op) {
+				if pc > start {
+					runs = append(runs, cpu.BlockRun{Start: start, End: pc})
+				}
+				start = pc + 1
+			}
+		}
+		if b.End > start {
+			runs = append(runs, cpu.BlockRun{Start: start, End: b.End})
+		}
+	}
+	return runs, nil
+}
+
+// InstallFastPath builds the fast-path run set for core's program and
+// installs it as the core's block plan. It is the one-call setup used by
+// the executors; errors only surface for programs that fail validation,
+// which a constructed core's program cannot.
+func InstallFastPath(core *cpu.Core) error {
+	runs, err := FastPathRuns(core.Prog)
+	if err != nil {
+		return err
+	}
+	core.InstallPlan(runs)
+	return nil
+}

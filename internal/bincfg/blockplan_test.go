@@ -1,0 +1,124 @@
+package bincfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// randPlanProgram emits a random mix of straight-line, branching,
+// yielding and calling code — enough shape variety to exercise every
+// run-splitting rule.
+func randPlanProgram(rng *rand.Rand, n int) *isa.Program {
+	p := &isa.Program{}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: 1})
+		case 1:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpLoad, Rd: 2, Rs1: 13})
+		case 2:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpCmpI, Rs1: 1, Imm: 3})
+		case 3:
+			target := i + 1 + rng.Intn(n-i)
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpJge, Imm: int64(target)})
+		case 4:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpYield, Imm: int64(isa.AllRegs)})
+		case 5:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpCYield, Imm: int64(isa.AllRegs)})
+		case 6:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpNop})
+		case 7:
+			p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpMul, Rd: 3, Rs1: 1, Rs2: 1})
+		}
+	}
+	p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpHalt})
+	return p
+}
+
+// TestFastPathRunsPartition checks the structural invariants FastPathRuns
+// promises: runs are sorted, non-overlapping, in bounds, contain no
+// stopper instruction, and cover every non-stopper instruction exactly
+// once.
+func TestFastPathRunsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		prog := randPlanProgram(rng, 5+rng.Intn(60))
+		runs, err := FastPathRuns(prog)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		covered := make([]int, len(prog.Instrs))
+		prevEnd := 0
+		for _, r := range runs {
+			if r.Start < prevEnd || r.End <= r.Start || r.End > len(prog.Instrs) {
+				t.Fatalf("trial %d: malformed run %+v (prev end %d)", trial, r, prevEnd)
+			}
+			prevEnd = r.End
+			for pc := r.Start; pc < r.End; pc++ {
+				covered[pc]++
+			}
+		}
+		for pc, in := range prog.Instrs {
+			stopper := fastPathStopper(in.Op)
+			switch {
+			case stopper && covered[pc] != 0:
+				t.Fatalf("trial %d: stopper %v at pc %d inside a run", trial, in.Op, pc)
+			case !stopper && covered[pc] != 1:
+				t.Fatalf("trial %d: pc %d covered %d times, want 1", trial, pc, covered[pc])
+			}
+		}
+	}
+}
+
+// TestFastPathRunsSplitAtYields pins the one rule the CFG alone does not
+// give: yields are not CFG block boundaries but must split runs, because
+// the executor takes scheduling decisions there.
+func TestFastPathRunsSplitAtYields(t *testing.T) {
+	prog := isa.MustAssemble(`
+        addi r1, r1, 1
+        addi r1, r1, 2
+        yield
+        addi r1, r1, 3
+        halt
+    `)
+	runs, err := FastPathRuns(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cpu.BlockRun{{Start: 0, End: 2}, {Start: 3, End: 4}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %+v, want %+v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs[%d] = %+v, want %+v", i, runs[i], want[i])
+		}
+	}
+}
+
+// TestInstallFastPath checks the one-call setup wires a plan onto the
+// core.
+func TestInstallFastPath(t *testing.T) {
+	prog := isa.MustAssemble(`
+        addi r1, r1, 1
+        halt
+    `)
+	m := mem.NewMemory(1 << 16)
+	core := cpu.MustNewCore(cpu.DefaultConfig(), prog, m, mem.MustNewHierarchy(mem.DefaultConfig()))
+	if core.HasPlan() {
+		t.Fatal("fresh core unexpectedly has a plan")
+	}
+	if err := InstallFastPath(core); err != nil {
+		t.Fatal(err)
+	}
+	if !core.HasPlan() {
+		t.Fatal("InstallFastPath did not install a plan")
+	}
+	if got := core.Plan().FusedEnd(0); got != 1 {
+		t.Errorf("FusedEnd(0) = %d, want 1", got)
+	}
+}

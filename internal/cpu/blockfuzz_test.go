@@ -1,0 +1,28 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzBlockVsStep is the fuzzing face of TestBlockVsStepDifferential:
+// any seed must produce byte-identical behaviour between the block
+// engine and per-instruction StepInto, in both coroutine and SMT
+// (block) mode. The corpus seeds cover both modes and a spread of
+// program sizes; the fuzzer explores the seed space from there.
+func FuzzBlockVsStep(f *testing.F) {
+	f.Add(int64(1), uint8(20), false, uint8(0))
+	f.Add(int64(2), uint8(80), false, uint8(0))
+	f.Add(int64(3), uint8(40), true, uint8(4))
+	f.Add(int64(4), uint8(90), true, uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, size uint8, block bool, budget uint8) {
+		n := 5 + int(size)%86 // program length in [5, 90]
+		rng := rand.New(rand.NewSource(seed))
+		prog := randRunnableProgram(rng, n, 4096)
+		var b uint64
+		if block {
+			b = 1 + uint64(budget)%16
+		}
+		diffOneProgram(t, "fuzz", prog, rng, block, b)
+	})
+}

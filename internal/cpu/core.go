@@ -45,6 +45,10 @@ type Core struct {
 	// instead of running the cost-model switch on every instruction.
 	costs [isa.NumOps]uint64
 
+	// plan, when installed, enables the basic-block fast path
+	// (RunBlock); see block.go. Nil means per-instruction dispatch.
+	plan *BlockPlan
+
 	observers    []Observer
 	lastBranchAt uint64 // clock of the previous taken transfer (LBR delta base)
 }
@@ -113,7 +117,9 @@ func sign(a, b int64) int {
 	return 0
 }
 
-// Step executes the next instruction of ctx.
+// StepInto executes the next instruction of ctx, writing what it did and
+// cost into the caller-provided result (reused across loop iterations so
+// nothing is copied out of the core per retired instruction).
 //
 // If block is false (coroutine executors), exposed memory stall cycles are
 // applied to the clock and attributed to the context immediately — the
@@ -122,16 +128,10 @@ func sign(a, b int64) int {
 // If block is true (the SMT executor), the clock advances by busy cycles
 // only and the exposed stall is returned in the result for the executor to
 // model as a blocked hardware context.
-func (c *Core) Step(ctx *coro.Context, block bool) (StepResult, error) {
-	var res StepResult
-	err := c.StepInto(ctx, block, &res)
-	return res, err
-}
-
-// StepInto is Step writing into a caller-provided result. Executor loops
-// reuse one StepResult across iterations instead of copying the struct
-// out of the core on every retired instruction; semantics are identical
-// to Step.
+//
+// Measured runs normally retire through RunBlock (block.go), which fuses
+// straight-line stretches; StepInto remains the semantic reference and
+// the only path that delivers per-instruction observer events.
 func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 	if ctx.Halted {
 		*res = StepResult{}

@@ -10,6 +10,14 @@ import (
 	"repro/internal/metrics"
 )
 
+// step drives one instruction through StepInto, the value-returning shape
+// the tests prefer (the hot paths use StepInto / RunBlock directly).
+func step(c *Core, ctx *coro.Context, block bool) (StepResult, error) {
+	var r StepResult
+	err := c.StepInto(ctx, block, &r)
+	return r, err
+}
+
 // testRig builds a core over the given assembly with a 1 MiB memory and a
 // context whose stack sits at the top of memory.
 func testRig(t *testing.T, src string) (*Core, *coro.Context, *mem.Memory) {
@@ -26,7 +34,7 @@ func testRig(t *testing.T, src string) (*Core, *coro.Context, *mem.Memory) {
 func runToHalt(t *testing.T, core *Core, ctx *coro.Context, fuel int) {
 	t.Helper()
 	for i := 0; i < fuel; i++ {
-		r, err := core.Step(ctx, false)
+		r, err := step(core, ctx, false)
 		if err != nil {
 			t.Fatalf("step %d: %v", i, err)
 		}
@@ -218,10 +226,10 @@ func TestMemoryFaultSurfaces(t *testing.T) {
         load r1, [r2]
         halt
     `)
-	if _, err := core.Step(ctx, false); err != nil {
+	if _, err := step(core, ctx, false); err != nil {
 		t.Fatalf("movi should not fault: %v", err)
 	}
-	_, err := core.Step(ctx, false)
+	_, err := step(core, ctx, false)
 	if err == nil {
 		t.Fatal("null load should fault")
 	}
@@ -242,8 +250,8 @@ func TestStallAccounting(t *testing.T) {
         halt
     `)
 	cfg := core.Hier.Config()
-	core.Step(ctx, false) // movi
-	r, err := core.Step(ctx, false)
+	step(core, ctx, false) // movi
+	r, err := step(core, ctx, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +262,7 @@ func TestStallAccounting(t *testing.T) {
 	if r.Stall != wantStall {
 		t.Errorf("cold load stall = %d, want %d", r.Stall, wantStall)
 	}
-	r, _ = core.Step(ctx, false)
+	r, _ = step(core, ctx, false)
 	if r.Stall != 0 {
 		t.Errorf("hot load stall = %d, want 0", r.Stall)
 	}
@@ -278,9 +286,9 @@ func TestBlockModeDoesNotAdvanceClockByStall(t *testing.T) {
         load r1, [r2]
         halt
     `)
-	core.Step(ctx, true)
+	step(core, ctx, true)
 	before := core.Now
-	r, _ := core.Step(ctx, true)
+	r, _ := step(core, ctx, true)
 	if r.Stall == 0 {
 		t.Fatal("cold load should stall")
 	}
@@ -308,7 +316,7 @@ func TestPrefetchThenLoadHidesStall(t *testing.T) {
     `)
 	var loadStall uint64
 	for i := 0; i < 5000; i++ {
-		r, err := core.Step(ctx, false)
+		r, err := step(core, ctx, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -335,11 +343,11 @@ func TestYieldResults(t *testing.T) {
         cyield 0x0002
         halt
     `)
-	r, _ := core.Step(ctx, false)
+	r, _ := step(core, ctx, false)
 	if !r.Yield || r.LiveMask != 0x0006 {
 		t.Errorf("yield result wrong: %+v", r)
 	}
-	r, _ = core.Step(ctx, false)
+	r, _ = step(core, ctx, false)
 	if !r.CondYield || r.LiveMask != 0x0002 {
 		t.Errorf("cyield result wrong: %+v", r)
 	}
@@ -360,12 +368,12 @@ func TestSFICheck(t *testing.T) {
 	cfg.SandboxHi = 8192
 	core := MustNewCore(cfg, prog, m, h)
 	ctx := coro.NewContext(0, 0, m.Size()-8)
-	core.Step(ctx, false)
-	if _, err := core.Step(ctx, false); err != nil {
+	step(core, ctx, false)
+	if _, err := step(core, ctx, false); err != nil {
 		t.Fatalf("in-bounds check trapped: %v", err)
 	}
-	core.Step(ctx, false)
-	if _, err := core.Step(ctx, false); err == nil {
+	step(core, ctx, false)
+	if _, err := step(core, ctx, false); err == nil {
 		t.Fatal("out-of-bounds check did not trap")
 	}
 }
@@ -428,7 +436,7 @@ func TestObserverEvents(t *testing.T) {
 		t.Error("branch delta should be nonzero")
 	}
 	core.ClearObservers()
-	core.Step(ctx, false) // would panic-ish if observers fired on halted ctx; just ensure no append
+	step(core, ctx, false) // would panic-ish if observers fired on halted ctx; just ensure no append
 	if len(obs.retires) != 11 {
 		t.Errorf("retires = %d, want 11", len(obs.retires))
 	}
@@ -449,7 +457,7 @@ func TestChargeSwitchAndIdle(t *testing.T) {
 func TestSteppingHaltedContextFails(t *testing.T) {
 	core, ctx, _ := testRig(t, "halt")
 	runToHalt(t, core, ctx, 2)
-	if _, err := core.Step(ctx, false); err == nil {
+	if _, err := step(core, ctx, false); err == nil {
 		t.Error("stepping halted context should fail")
 	}
 }

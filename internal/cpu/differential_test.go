@@ -108,7 +108,7 @@ func TestDifferentialAgainstReference(t *testing.T) {
 		ctx.Regs = initRegs
 		ctx.Regs[isa.SP] = memA.Size() - 8
 		for !ctx.Halted {
-			if _, err := core.Step(ctx, false); err != nil {
+			if _, err := step(core, ctx, false); err != nil {
 				t.Fatalf("trial %d: core: %v\n%s", trial, err, isa.Disassemble(prog))
 			}
 		}
@@ -161,7 +161,7 @@ func TestDifferentialWithCalls(t *testing.T) {
 	core := MustNewCore(DefaultConfig(), prog, m1, mem.MustNewHierarchy(mem.DefaultConfig()))
 	ctx := coro.NewContext(0, 0, m1.Size()-8)
 	for !ctx.Halted {
-		if _, err := core.Step(ctx, false); err != nil {
+		if _, err := step(core, ctx, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -205,7 +205,7 @@ func TestDifferentialAccelerator(t *testing.T) {
 	ctx := coro.NewContext(0, 0, m1.Size()-8)
 	var sawStall bool
 	for !ctx.Halted {
-		r, err := core.Step(ctx, false)
+		r, err := step(core, ctx, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,7 +235,7 @@ func TestAccWaitWithoutSubmit(t *testing.T) {
 	m := mem.NewMemory(1 << 12)
 	core := MustNewCore(DefaultConfig(), prog, m, mem.MustNewHierarchy(mem.DefaultConfig()))
 	ctx := coro.NewContext(0, 0, m.Size()-8)
-	r, err := core.Step(ctx, false)
+	r, err := step(core, ctx, false)
 	if err != nil {
 		t.Fatalf("bare ACCWAIT should read the sticky record: %v", err)
 	}

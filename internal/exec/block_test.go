@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+// countingObserver is a minimal PEBS-shaped observer: attaching it must
+// force the executor onto the per-instruction fallback without changing
+// any simulated outcome.
+type countingObserver struct {
+	retires  uint64
+	branches uint64
+}
+
+func (o *countingObserver) OnRetire(cpu.RetireEvent) { o.retires++ }
+func (o *countingObserver) OnBranch(cpu.BranchEvent) { o.branches++ }
+
+// blockDualModeRun executes the standard dual-mode scenario (chase primary +
+// two compute scavengers) and returns its stats and scheduling trace.
+// setup tweaks the core after executor construction (clear the plan,
+// attach observers) and before the run.
+func blockDualModeRun(t *testing.T, setup func(*cpu.Core)) (Stats, []trace.Event) {
+	t.Helper()
+	core, m := newMachine(t, testImage, 8<<20)
+	head := buildChain(m, 512, 99)
+	ring := trace.NewRing(1 << 14)
+	cfg := DefaultConfig()
+	cfg.Tracer = ring
+	e := New(core, cfg)
+	setup(core)
+	primary := chaseTask(core, m, 0, 400, head)
+	scavs := []*Task{scavTask(core, m, 1, 2000), scavTask(core, m, 2, 2000)}
+	st, err := e.RunDualMode(primary, scavs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, ring.Events()
+}
+
+// TestObserverFallbackMatchesFastPath pins the profiling contract at the
+// executor level: a dual-mode run with an attached observer (which
+// forces per-instruction StepInto, the pre-block engine) must produce
+// Stats and a scheduling trace identical to both the block fast path and
+// the plan-free slow path — and the observer must see every retirement.
+func TestObserverFallbackMatchesFastPath(t *testing.T) {
+	fastStats, fastTrace := blockDualModeRun(t, func(c *cpu.Core) {})
+
+	slowStats, slowTrace := blockDualModeRun(t, func(c *cpu.Core) {
+		c.ClearPlan()
+	})
+
+	obs := &countingObserver{}
+	obsStats, obsTrace := blockDualModeRun(t, func(c *cpu.Core) {
+		c.Observe(obs)
+	})
+
+	if !reflect.DeepEqual(fastStats, slowStats) {
+		t.Fatalf("fast vs slow stats diverge:\n fast: %+v\n slow: %+v", fastStats, slowStats)
+	}
+	if !reflect.DeepEqual(fastStats, obsStats) {
+		t.Fatalf("fast vs observer stats diverge:\n fast: %+v\n obs:  %+v", fastStats, obsStats)
+	}
+	if !reflect.DeepEqual(fastTrace, slowTrace) {
+		t.Fatalf("fast vs slow traces diverge: %d vs %d events", len(fastTrace), len(slowTrace))
+	}
+	if !reflect.DeepEqual(fastTrace, obsTrace) {
+		t.Fatalf("fast vs observer traces diverge: %d vs %d events", len(fastTrace), len(obsTrace))
+	}
+	if obs.retires != obsStats.Retired {
+		t.Fatalf("observer saw %d retires, stats retired %d", obs.retires, obsStats.Retired)
+	}
+	if obs.branches == 0 {
+		t.Fatal("observer saw no branch events in a looping workload")
+	}
+}
+
+// TestExecutorsAgreeWithPlanCleared drives every executor discipline
+// with the plan cleared mid-setup and compares against the fast path:
+// the block engine must be a pure optimization at every call site.
+func TestExecutorsAgreeWithPlanCleared(t *testing.T) {
+	type result struct {
+		st  Stats
+		now uint64
+	}
+	run := func(fast bool, mode string) result {
+		core, m := newMachine(t, testImage, 8<<20)
+		head := buildChain(m, 512, 7)
+		e := New(core, DefaultConfig())
+		if !fast {
+			core.ClearPlan()
+		}
+		var st Stats
+		var err error
+		switch mode {
+		case "solo":
+			st, err = e.RunSolo(chaseTask(core, m, 0, 300, head))
+		case "symmetric":
+			st, err = e.RunSymmetric([]*Task{
+				chaseTask(core, m, 0, 300, head),
+				scavTask(core, m, 1, 1500),
+			})
+		case "windowed":
+			st, err = e.RunWindowed([]*Task{
+				chaseTask(core, m, 0, 200, head),
+				scavTask(core, m, 1, 800),
+				scavTask(core, m, 2, 800),
+			}, 2)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		return result{st, core.Now}
+	}
+	for _, mode := range []string{"solo", "symmetric", "windowed"} {
+		fast := run(true, mode)
+		slow := run(false, mode)
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("%s: fast vs slow diverge:\n fast: %+v\n slow: %+v", mode, fast, slow)
+		}
+	}
+}

@@ -23,6 +23,7 @@ package exec
 import (
 	"fmt"
 
+	"repro/internal/bincfg"
 	"repro/internal/coro"
 	"repro/internal/cpu"
 	"repro/internal/isa"
@@ -147,13 +148,22 @@ type Executor struct {
 	Cfg  Config
 }
 
-// New creates an executor.
+// New creates an executor. It installs the basic-block fast-path plan on
+// the core (unless one is already present), enabling cpu.RunBlock's fused
+// straight-line retire for measured runs; profiling runs with observers
+// attached automatically fall back to per-instruction dispatch.
 func New(core *cpu.Core, cfg Config) *Executor {
 	if cfg.HideTarget == 0 {
 		cfg.HideTarget = core.Hier.Config().LatDRAM
 	}
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = DefaultConfig().MaxSteps
+	}
+	if !core.HasPlan() {
+		// The program was validated when the core was built, so plan
+		// construction cannot fail; a nil plan would only mean the slow
+		// path, never a wrong answer.
+		_ = bincfg.InstallFastPath(core)
 	}
 	return &Executor{Core: core, Cfg: cfg}
 }

@@ -15,15 +15,15 @@ import (
 func (e *Executor) RunSolo(t *Task) (Stats, error) {
 	start := e.Core.Now
 	var steps uint64
-	var r cpu.StepResult
+	var r cpu.BlockResult
 	for !t.Ctx.Halted {
 		if steps >= e.Cfg.MaxSteps {
 			return Stats{}, ErrFuelExhausted
 		}
-		steps++
-		if err := e.Core.StepInto(t.Ctx, false, &r); err != nil {
+		if err := e.Core.RunBlock(t.Ctx, false, e.Cfg.MaxSteps-steps, 0, &r); err != nil {
 			return Stats{}, err
 		}
+		steps += r.Steps
 	}
 	st := Stats{Cycles: e.Core.Now - start}
 	collect(&st, t)
@@ -46,18 +46,18 @@ func (e *Executor) RunSymmetric(tasks []*Task) (Stats, error) {
 	cur := 0
 	running := len(tasks)
 	var steps uint64
-	var r cpu.StepResult
+	var r cpu.BlockResult
 	latencies := make([]uint64, len(tasks))
 	e.resume(tasks[cur])
 	for running > 0 {
 		if steps >= e.Cfg.MaxSteps {
 			return Stats{}, ErrFuelExhausted
 		}
-		steps++
 		t := tasks[cur]
-		if err := e.Core.StepInto(t.Ctx, false, &r); err != nil {
+		if err := e.Core.RunBlock(t.Ctx, false, e.Cfg.MaxSteps-steps, 0, &r); err != nil {
 			return Stats{}, err
 		}
+		steps += r.Steps
 		switch {
 		case r.Halted:
 			latencies[cur] = e.Core.Now - start
@@ -157,15 +157,15 @@ func (e *Executor) RunDualMode(primary *Task, scavengers []*Task) (Stats, error)
 	}
 
 	var steps uint64
-	var r cpu.StepResult
+	var r cpu.BlockResult
 	for {
 		if steps >= e.Cfg.MaxSteps {
 			return Stats{}, ErrFuelExhausted
 		}
-		steps++
-		if err := e.Core.StepInto(cur.Ctx, false, &r); err != nil {
+		if err := e.Core.RunBlock(cur.Ctx, false, e.Cfg.MaxSteps-steps, 0, &r); err != nil {
 			return Stats{}, err
 		}
+		steps += r.Steps
 
 		if r.Halted {
 			e.emit(trace.Halt, cur, 0)
@@ -309,17 +309,17 @@ func (e *Executor) RunWindowed(stream []*Task, width int) (Stats, error) {
 	}
 	cur := 0
 	var steps uint64
-	var r cpu.StepResult
+	var r cpu.BlockResult
 	e.resume(window[cur])
 	for len(window) > 0 {
 		if steps >= e.Cfg.MaxSteps {
 			return Stats{}, ErrFuelExhausted
 		}
-		steps++
 		t := window[cur]
-		if err := e.Core.StepInto(t.Ctx, false, &r); err != nil {
+		if err := e.Core.RunBlock(t.Ctx, false, e.Cfg.MaxSteps-steps, 0, &r); err != nil {
 			return Stats{}, err
 		}
+		steps += r.Steps
 		switch {
 		case r.Halted:
 			e.emit(trace.Halt, t, 0)

@@ -510,9 +510,9 @@ func runSolo(t *testing.T, prog *isa.Program, seed int64) (uint64, []byte) {
 	ctx := coro.NewContext(0, 0, m.Size()-8)
 	ctx.Regs[1] = base
 	ctx.Regs[2] = base
+	var r cpu.StepResult
 	for i := 0; i < 1_000_000; i++ {
-		r, err := core.Step(ctx, false)
-		if err != nil {
+		if err := core.StepInto(ctx, false, &r); err != nil {
 			t.Fatalf("step: %v", err)
 		}
 		if r.Halted {

@@ -92,8 +92,9 @@ func TestGuardsTrapOutsideSandbox(t *testing.T) {
 	core := cpu.MustNewCore(cfg, hardened, m, mem.MustNewHierarchy(mem.DefaultConfig()))
 	ctx := coro.NewContext(0, 0, m.Size()-8)
 	var fault error
+	var r cpu.StepResult
 	for i := 0; i < 100 && !ctx.Halted; i++ {
-		if _, err := core.Step(ctx, false); err != nil {
+		if err := core.StepInto(ctx, false, &r); err != nil {
 			fault = err
 			break
 		}
@@ -121,8 +122,9 @@ func TestHardenedProgramStillComputes(t *testing.T) {
 	m := mem.NewMemory(1 << 20)
 	core := cpu.MustNewCore(cpu.DefaultConfig(), hardened, m, mem.MustNewHierarchy(mem.DefaultConfig()))
 	ctx := coro.NewContext(0, 0, m.Size()-8)
+	var r cpu.StepResult
 	for i := 0; i < 100 && !ctx.Halted; i++ {
-		if _, err := core.Step(ctx, false); err != nil {
+		if err := core.StepInto(ctx, false, &r); err != nil {
 			t.Fatal(err)
 		}
 	}

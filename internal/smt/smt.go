@@ -12,6 +12,7 @@ package smt
 import (
 	"fmt"
 
+	"repro/internal/bincfg"
 	"repro/internal/coro"
 	"repro/internal/cpu"
 )
@@ -79,25 +80,44 @@ func Run(core *cpu.Core, cfg Config, ctxs []*coro.Context) (Stats, error) {
 		cfg.Quantum = DefaultConfig().Quantum
 	}
 
+	if !core.HasPlan() {
+		// Enable the basic-block fast path; the program was validated at
+		// core construction, so this cannot fail (and a nil plan would
+		// only mean per-instruction dispatch, never a wrong answer).
+		_ = bincfg.InstallFastPath(core)
+	}
+
 	start := core.Now
 	st := Stats{Latencies: make([]uint64, len(ctxs))}
 	blockedUntil := make([]uint64, len(ctxs))
 	running := len(ctxs)
 	cur := 0
 	var steps, sliceUsed uint64
-	var r cpu.StepResult
+	var r cpu.BlockResult
 
 	for running > 0 {
 		if steps >= cfg.MaxSteps {
 			return Stats{}, fmt.Errorf("smt: MaxSteps exceeded")
 		}
-		// Pick the next runnable context, round-robin from cur.
+		// Pick the next runnable context, round-robin from cur. Contexts
+		// skipped over (earlier in scan order but currently blocked) may
+		// unblock while the picked one runs; preemptAt records the
+		// earliest such wake-up so the block engine hands control back at
+		// exactly the instruction boundary where the per-instruction loop
+		// would have re-picked them.
 		picked := -1
+		preemptAt := uint64(0)
 		for off := 0; off < len(ctxs); off++ {
 			i := (cur + off) % len(ctxs)
-			if !ctxs[i].Halted && blockedUntil[i] <= core.Now {
+			if ctxs[i].Halted {
+				continue
+			}
+			if blockedUntil[i] <= core.Now {
 				picked = i
 				break
+			}
+			if preemptAt == 0 || blockedUntil[i] < preemptAt {
+				preemptAt = blockedUntil[i]
 			}
 		}
 		if picked < 0 {
@@ -121,10 +141,18 @@ func Run(core *cpu.Core, cfg Config, ctxs []*coro.Context) (Stats, error) {
 			core.AdvanceIdle(soonest - core.Now)
 			continue
 		}
-		steps++
-		if err := core.StepInto(ctxs[picked], true, &r); err != nil {
+		// The busy budget is the remaining quantum, clipped to the next
+		// wake-up of a skipped-over peer: in block mode the clock advances
+		// by exactly the busy cycles retired, so a budget of (preemptAt −
+		// Now) stops at the first boundary where that peer is runnable.
+		budget := cfg.Quantum - sliceUsed
+		if preemptAt > core.Now && preemptAt-core.Now < budget {
+			budget = preemptAt - core.Now
+		}
+		if err := core.RunBlock(ctxs[picked], true, cfg.MaxSteps-steps, budget, &r); err != nil {
 			return Stats{}, err
 		}
+		steps += r.Steps
 		sliceUsed += r.Busy
 		rotate := false
 		if r.Stall > 0 {

@@ -22,12 +22,12 @@ func runScenario(t *testing.T, sc *Scenario) {
 			id++
 			ctx.Regs = inst.Regs
 			ctx.Regs[15] = part.StackTops[i]
+			var r cpu.StepResult
 			for steps := 0; ; steps++ {
 				if steps > 20_000_000 {
 					t.Fatalf("%s[%d]: did not halt", part.Name, i)
 				}
-				r, err := core.Step(ctx, false)
-				if err != nil {
+				if err := core.StepInto(ctx, false, &r); err != nil {
 					t.Fatalf("%s[%d]: %v", part.Name, i, err)
 				}
 				if r.Halted {

@@ -1,11 +1,13 @@
 #!/usr/bin/env sh
 # bench.sh — benchmark-trajectory guardrail for the simulator hot path.
 #
-# Runs the two hot-path benchmarks and compares them against the recorded
-# trajectory in BENCH_PR2.json. Two lines are drawn:
+# Runs the hot-path benchmarks and compares them against the most recent
+# recorded trajectory (the highest-numbered BENCH_PR*.json in the repo
+# root). Two lines are drawn:
 #
 #   - allocation count (hard): steady-state stepping (BenchmarkCoreStep)
-#     must report 0 allocs/op, or the allocation-free hot path regressed;
+#     and block retire (BenchmarkCoreBlock) must both report 0 allocs/op,
+#     or the allocation-free hot path regressed;
 #   - step rate (gated, tolerant): measured ns/op must be within
 #     BENCH_TOLERANCE_PCT (default 15%) of the recorded ns_per_op. Set
 #     BENCH_SKIP_RATE_GATE=1 to disable on machines unlike the recording
@@ -17,24 +19,35 @@ set -eu
 cd "$(dirname "$0")/.."
 benchtime="${1:-2s}"
 
+trajectory=$(ls BENCH_PR*.json | sort -V | tail -1)
+if [ -z "$trajectory" ]; then
+    echo "FAIL: no BENCH_PR*.json trajectory file found" >&2
+    exit 1
+fi
+
 echo "== hot-path benchmarks (benchtime=$benchtime) =="
-out=$(go test -run '^$' -bench 'BenchmarkCoreSimulator$' -benchmem -benchtime "$benchtime" .)
+out=$(go test -run '^$' -bench 'BenchmarkCoreSimulator' -benchmem -benchtime "$benchtime" .)
 echo "$out"
-step=$(go test -run '^$' -bench 'BenchmarkCoreStep$' -benchmem -benchtime "$benchtime" ./internal/cpu/)
+step=$(go test -run '^$' -bench 'BenchmarkCoreStep$|BenchmarkCoreBlock$' -benchmem -benchtime "$benchtime" ./internal/cpu/)
 echo "$step"
 
 echo
-echo "== recorded trajectory (BENCH_PR2.json) =="
-grep -E '"(ns_per_op|allocs_per_op|minstrs_per_sec|speedup)"' BENCH_PR2.json
+echo "== recorded trajectory ($trajectory) =="
+grep -E '"(ns_per_op|ns_per_instr|allocs_per_op|minstrs_per_sec|speedup)"' "$trajectory"
 
-# Hard check: the steady-state step must not allocate.
-allocs=$(echo "$step" | awk '/BenchmarkCoreStep/ { print $(NF-1) }')
+# Hard checks: neither steady-state stepping nor block retire may allocate.
+allocs=$(echo "$step" | awk '/BenchmarkCoreStep-|BenchmarkCoreStep / { print $(NF-1) }')
 if [ "${allocs:-1}" != "0" ]; then
     echo "FAIL: BenchmarkCoreStep reports $allocs allocs/op (want 0)" >&2
     exit 1
 fi
+block_allocs=$(echo "$step" | awk '/BenchmarkCoreBlock-|BenchmarkCoreBlock / { print $(NF-1) }')
+if [ "${block_allocs:-1}" != "0" ]; then
+    echo "FAIL: BenchmarkCoreBlock reports $block_allocs allocs/op (want 0)" >&2
+    exit 1
+fi
 echo
-echo "OK: steady-state step is allocation-free (0 allocs/op)"
+echo "OK: steady-state step and block retire are allocation-free (0 allocs/op)"
 
 # Step-rate gate: measured ns/op vs the recorded trajectory, ±tolerance.
 if [ "${BENCH_SKIP_RATE_GATE:-0}" = "1" ]; then
@@ -51,8 +64,8 @@ case "$benchtime" in
 esac
 tol="${BENCH_TOLERANCE_PCT:-15}"
 # BenchmarkCoreStep output:  name  iters  X ns/op  Y B/op  Z allocs/op
-measured=$(echo "$step" | awk '/BenchmarkCoreStep/ { for (i=2; i<NF; i++) if ($(i+1) == "ns/op") print $i }')
-recorded=$(awk '/"BenchmarkCoreStep"/ { found=1 } found && /"current"/ { cur=1 } cur && /"ns_per_op"/ { gsub(/[",]/,"",$2); print $2; exit }' BENCH_PR2.json)
+measured=$(echo "$step" | awk '/BenchmarkCoreStep-|BenchmarkCoreStep / { for (i=2; i<NF; i++) if ($(i+1) == "ns/op") print $i }')
+recorded=$(awk '/"BenchmarkCoreStep":/ { found=1 } found && /"current"/ { cur=1 } cur && /"ns_per_op"/ { gsub(/[",]/,"",$2); print $2; exit }' "$trajectory")
 if [ -z "$measured" ] || [ -z "$recorded" ]; then
     echo "FAIL: could not extract step rate (measured='$measured' recorded='$recorded')" >&2
     exit 1

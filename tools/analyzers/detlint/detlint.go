@@ -1,8 +1,14 @@
 // Package detlint enforces the repository's determinism contract in
-// cycle-domain packages (internal/{mem,cpu,exec,sched,pebs}): every
+// cycle-domain packages (internal/{mem,cpu,exec,smt,sched,pebs}): every
 // simulated run with the same seed must be bit-identical, so those
 // packages must not iterate maps in an order-sensitive way, read wall
 // clocks, or draw from the global (process-seeded) random source.
+//
+// A few individual files outside those packages also feed simulated
+// state — internal/bincfg/blockplan.go computes the block-engine run
+// table the CPU retires from — and are held to the same rules by file
+// name (see cycleAdjacent), without dragging their whole package (which
+// may legitimately use maps for analysis) into the contract.
 //
 // The rule set is deliberately blunt — each construct it flags has
 // caused (or would cause) a real nondeterminism bug:
@@ -25,6 +31,8 @@ package detlint
 import (
 	"go/ast"
 	"go/types"
+	"path"
+	"path/filepath"
 	"strings"
 
 	"repro/tools/analyzers/framework"
@@ -33,7 +41,8 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "detlint",
 	Doc: "forbid nondeterminism sources (map iteration, wall clocks, global rand) in cycle-domain packages\n\n" +
-		"Applies to packages under internal/ whose name is one of mem, cpu, exec, sched, pebs.",
+		"Applies to packages under internal/ whose name is one of mem, cpu, exec, smt, sched, pebs, " +
+		"plus individually listed cycle-adjacent files (internal/bincfg/blockplan.go).",
 	Run: run,
 }
 
@@ -44,28 +53,56 @@ var cycleDomain = map[string]bool{
 	"mem":   true,
 	"cpu":   true,
 	"exec":  true,
+	"smt":   true,
 	"sched": true,
 	"pebs":  true,
 }
 
-func inCycleDomain(importPath string) bool {
-	if !strings.Contains(importPath+"/", "/internal/") {
-		return false
-	}
-	base := importPath
+// cycleAdjacent lists individual files, keyed by package base name under
+// internal/, that compute inputs to simulated state from inside packages
+// that are otherwise exempt. bincfg is an analysis package — dom.go
+// legitimately ranges over maps while building dominator sets — but
+// blockplan.go derives the block-engine run table cpu.RunBlock retires
+// from, so that one file carries the full determinism contract.
+var cycleAdjacent = map[string]map[string]bool{
+	"bincfg": {"blockplan.go": true},
+}
+
+func packageBase(importPath string) (base string, underInternal bool) {
+	base = importPath
 	if i := strings.LastIndexByte(base, '/'); i >= 0 {
 		base = base[i+1:]
 	}
-	return cycleDomain[base]
+	return base, strings.Contains(importPath+"/", "/internal/")
+}
+
+func inCycleDomain(importPath string) bool {
+	base, internal := packageBase(importPath)
+	return internal && cycleDomain[base]
+}
+
+// adjacentFiles returns the set of file base names in this package that
+// are individually held to the determinism contract, or nil if none.
+func adjacentFiles(importPath string) map[string]bool {
+	base, internal := packageBase(importPath)
+	if !internal {
+		return nil
+	}
+	return cycleAdjacent[base]
 }
 
 func run(pass *framework.Pass) error {
-	if !inCycleDomain(pass.ImportPath) {
+	full := inCycleDomain(pass.ImportPath)
+	adjacent := adjacentFiles(pass.ImportPath)
+	if !full && adjacent == nil {
 		return nil
 	}
 	for _, file := range pass.Files {
 		name := pass.Fset.Position(file.Pos()).Filename
 		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !full && !adjacent[path.Base(filepath.ToSlash(name))] {
 			continue
 		}
 		checkFile(pass, file)

@@ -160,11 +160,60 @@ func durationTime() *types.Package {
 	return pkg
 }
 
+// TestCycleAdjacentFileChecked pins the file-level extension of the
+// contract: internal/bincfg is exempt as a package (its dominator
+// analysis ranges over maps legitimately), but blockplan.go feeds the
+// block engine's run table and must obey the cycle-domain rules.
+func TestCycleAdjacentFileChecked(t *testing.T) {
+	const planSrc = `package bincfg
+
+func runs(blocks map[int]int) []int {
+	var out []int
+	for start := range blocks { // violation: run order feeds the CPU
+		out = append(out, start)
+	}
+	return out
+}
+`
+	const domSrc = `package bincfg
+
+func frontier(doms map[int]int) int {
+	n := 0
+	for range doms { // fine: analysis-only, order-insensitive
+		n++
+	}
+	return n
+}
+`
+	diags := analyzertest.Check(t, "repro/internal/bincfg", map[string]string{
+		"blockplan.go": planSrc,
+		"dom.go":       domSrc,
+	}, deps(), Analyzer)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic (blockplan.go only), got %d: %v",
+			len(diags), analyzertest.Messages(diags))
+	}
+	if !strings.Contains(diags[0].Message, "range over map") {
+		t.Fatalf("want range-over-map diagnostic, got %q", diags[0].Message)
+	}
+}
+
+func TestSMTPackageInCycleDomain(t *testing.T) {
+	diags := analyzertest.Check(t, "repro/internal/smt",
+		map[string]string{"step.go": strings.Replace(violationsSrc, "package exec", "package smt", 1)},
+		deps(), Analyzer)
+	if len(diags) != 4 {
+		t.Fatalf("want 4 diagnostics in internal/smt, got %d: %v",
+			len(diags), analyzertest.Messages(diags))
+	}
+}
+
 func TestInCycleDomain(t *testing.T) {
 	cases := map[string]bool{
 		"repro/internal/mem":     true,
 		"repro/internal/cpu":     true,
 		"repro/internal/exec":    true,
+		"repro/internal/smt":     true,
 		"repro/internal/sched":   true,
 		"repro/internal/pebs":    true,
 		"other/internal/mem":     true, // any module's internal cycle domain
