@@ -1,11 +1,13 @@
 // This file is the flat compatibility surface: type aliases and free
-// functions predating the Session entry point (see session.go). All of
-// it keeps working — existing callers and examples compile unchanged —
-// but new code should start from NewSession, which owns the machine,
-// experiment lookup/run, instrumentation and execution policy in one
-// place. The aliases that name simulator building blocks (Machine,
-// Harness, workloads, configs) are not deprecated; only the free
-// functions that Session now subsumes are.
+// functions predating the Session entry point (see session.go) and the
+// Topology-centred machine description (see topology.go). All of it
+// keeps working — existing callers and examples compile unchanged — but
+// new code should start from NewSession + WithTopology, which own the
+// machine description, experiment lookup/run, instrumentation and
+// execution policy in one place. The aliases that name simulator
+// building blocks (Harness, workloads, configs) are not deprecated;
+// deprecated are the free functions Session subsumes and the
+// single-core Machine surface Topology subsumes.
 package repro
 
 import (
@@ -27,8 +29,14 @@ import (
 // ---- Machine & pipeline (internal/core) ----
 
 type (
-	// Machine describes the simulated platform: cache hierarchy, core
-	// cost model, sampler configuration and coroutine switch pricing.
+	// Machine describes one simulated core's platform: cache hierarchy,
+	// core cost model, sampler configuration and coroutine switch
+	// pricing.
+	//
+	// Deprecated: the public surface is cut around Topology, which
+	// embeds Machine as its per-core template; a single-core machine is
+	// Topology{Cores: 1, Machine: m}. The alias remains for existing
+	// callers.
 	Machine = experiments.Machine
 	// Harness owns a composed workload scenario and builds executors.
 	Harness = experiments.Harness
@@ -40,8 +48,8 @@ type (
 
 // DefaultMachine returns the reference experiment machine.
 //
-// Deprecated: prefer NewSession, whose default machine this is; use
-// Session.Machine to inspect it or WithMachine to replace it.
+// Deprecated: prefer NewSession, whose default per-core machine this
+// is; use Session.Topology to inspect it or WithTopology to replace it.
 func DefaultMachine() Machine { return experiments.Default() }
 
 // NewHarness composes workload specs over a fresh simulated memory.
@@ -211,8 +219,9 @@ func LookupExperiment(id string) (ExperimentRunner, bool) { return experiments.L
 // ExperimentIDs lists all experiment IDs in order.
 //
 // Deprecated: prefer Session.ExperimentIDs, which keeps experiment
-// discovery next to the session that will run them.
-func ExperimentIDs() []string { return experiments.IDs() }
+// discovery next to the session that will run them; this alias
+// delegates to it.
+func ExperimentIDs() []string { return (&Session{}).ExperimentIDs() }
 
 // ---- ISA (internal/isa), for tools that manipulate binaries ----
 

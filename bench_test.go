@@ -11,6 +11,7 @@ package repro
 // human-readable form.
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -241,6 +242,47 @@ func BenchmarkCoreSimulator(b *testing.B) {
 // pointer chase above is memory-bound (hierarchy modeling dominates);
 // this one is dispatch-bound, so its step rate tracks the execution
 // engine itself.
+// BenchmarkMachineScaling measures aggregate simulator throughput of
+// the many-core kernel on the ALU workload at 1/2/4/8 cores, MachineSolo
+// per core — the host-parallelism scaling figure (each simulated core
+// runs on its own goroutine, so aggregate rate should scale with host
+// cores up to the topology size). The steady-state 0-alloc guarantee is
+// pinned separately by TestMachineSteadyStateAllocs in internal/machine.
+func BenchmarkMachineScaling(b *testing.B) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			topo := DefaultTopology(cores)
+			topo.Machine.MemBytes = 32 << 20
+			s, err := NewSession(WithTopology(topo))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Iters is sized so simulated stepping dominates the per-
+			// iteration scenario build (~33 MB of memory image): at 2000
+			// iters setup is ~90% of wall time and the Minstr/s figure
+			// measures the allocator, not the kernel.
+			rc := MachineRun{
+				Spec: UnrolledCompute{BlockInstrs: 64, Iters: 20000, Instances: 1},
+				Mode: MachineSolo,
+			}
+			var retired uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := s.RunMachine(rc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				retired = st.Aggregate.Retired
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(retired)*float64(b.N)/sec/1e6, "Minstr/s")
+			}
+			b.ReportMetric(float64(retired), "instrs/run")
+		})
+	}
+}
+
 func BenchmarkCoreSimulatorALU(b *testing.B) {
 	h, err := NewHarness(DefaultMachine(), UnrolledCompute{BlockInstrs: 64, Iters: 2000, Instances: 1})
 	if err != nil {

@@ -30,15 +30,19 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/machine"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/workloads"
 )
 
 // options collects everything run needs, so tests can drive it without
 // the process-global flag set.
 type options struct {
 	exp      string
+	tf       cli.TopologyFlags
 	metrics  bool
 	seed     int64
 	format   string
@@ -54,6 +58,7 @@ func main() {
 	cli.InstallUsage(fs)
 	var o options
 	fs.StringVar(&o.exp, "exp", "all", "comma-separated experiment IDs, or 'all'")
+	o.tf.Register(fs)
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	fs.BoolVar(&o.metrics, "metrics", false, "dump flat metrics after each table")
 	fs.Int64Var(&o.seed, "seed", 0, "override the scenario seed (0 keeps the default)")
@@ -119,9 +124,23 @@ func run(ctx context.Context, w, ew io.Writer, o options) error {
 	if o.parallel < 0 {
 		return fmt.Errorf("-parallel must be ≥ 0 (got %d)", o.parallel)
 	}
+	if err := o.tf.Check(); err != nil {
+		return err
+	}
 	mach := core.DefaultMachine()
 	if o.seed != 0 {
 		mach.Seed = o.seed
+	}
+	if o.tf.Cores > 1 {
+		// Many-core mode: E1–E20 are single-core experiments, so -cores
+		// selects the machine-scaling report instead.
+		if o.exp != "all" {
+			return fmt.Errorf("-cores runs the many-core scaling report; the single-core experiments of -exp do not take a topology")
+		}
+		if o.seeds > 1 {
+			return fmt.Errorf("-seeds is not summarized for the scaling report; drop one of -cores/-seeds")
+		}
+		return runScaling(ctx, w, ew, o, mach)
 	}
 
 	var ids []string
@@ -192,6 +211,95 @@ func run(ctx context.Context, w, ew io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
+	if cache != nil {
+		fmt.Fprintf(ew, "cache: %d hit(s), %d miss(es) under %s\n", cache.Hits(), cache.Misses(), cache.Dir())
+	}
+	return nil
+}
+
+// runScaling runs the many-core scaling report: the canonical pointer
+// chase on 1, 2, 4, … up to -cores cores over the shared LLC, fanned
+// out on the runner (each core count is one cacheable job whose key
+// carries the full topology).
+func runScaling(ctx context.Context, w, ew io.Writer, o options, mach core.Machine) error {
+	var counts []int
+	for c := 1; c < o.tf.Cores; c *= 2 {
+		counts = append(counts, c)
+	}
+	counts = append(counts, o.tf.Cores)
+
+	spec := workloads.PointerChase{Nodes: 8192, Hops: 3000, Instances: 4}
+	rc := machine.RunConfig{Spec: spec, Mode: machine.ModeSymmetric, Exec: exec.Config{}}
+
+	var jobs []runner.Job
+	for _, c := range counts {
+		tf := o.tf
+		tf.Cores = c
+		if c == 1 {
+			tf.LLCBanks, tf.LLCSize = 0, 0 // shared-LLC overrides do not apply single-core
+		}
+		topo, err := tf.Topology(mach)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, runner.Job{
+			ID:        fmt.Sprintf("machine-scaling/%s/symmetric/cores=%d", spec.Name(), c),
+			Mach:      mach,
+			Topo:      &topo,
+			Cacheable: true,
+			Run: func(m core.Machine) (*experiments.Result, error) {
+				t := topo
+				t.Machine = m
+				mm, err := machine.New(t, rc)
+				if err != nil {
+					return nil, err
+				}
+				st, err := mm.Run()
+				if err != nil {
+					return nil, err
+				}
+				return &experiments.Result{ID: "machine-scaling", Metrics: map[string]float64{
+					"cycles":     float64(st.Cycles),
+					"retired":    float64(st.Aggregate.Retired),
+					"ipc":        float64(st.Aggregate.Retired) / float64(st.Cycles),
+					"llc_misses": float64(st.LLC.Misses),
+					"llc_queued": float64(st.LLC.Queued),
+				}}, nil
+			},
+		})
+	}
+
+	var cache *runner.Cache
+	if o.cache || o.cacheDir != "" {
+		dir := o.cacheDir
+		if dir == "" {
+			var err error
+			if dir, err = runner.DefaultDir(); err != nil {
+				return err
+			}
+		}
+		var err error
+		if cache, err = runner.OpenCache(dir); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "softhide many-core scaling — %s, symmetric, seed %d\n\n", spec.Name(), mach.Seed)
+	results, err := runner.Run(ctx, jobs, runner.Options{Parallelism: o.parallel, Cache: cache})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("aggregate throughput vs core count",
+		"cores", "cycles", "retired", "machine IPC", "llc misses", "llc queued")
+	base := results[0].Res.Metrics["ipc"]
+	for i, r := range results {
+		m := r.Res.Metrics
+		tb.Row(counts[i], uint64(m["cycles"]), uint64(m["retired"]), m["ipc"], uint64(m["llc_misses"]), uint64(m["llc_queued"]))
+	}
+	fmt.Fprint(w, tb.String())
+	last := results[len(results)-1].Res.Metrics["ipc"]
+	fmt.Fprintf(w, "speedup at %d cores: %.2fx aggregate throughput over 1 core\n",
+		o.tf.Cores, last/base)
 	if cache != nil {
 		fmt.Fprintf(ew, "cache: %d hit(s), %d miss(es) under %s\n", cache.Hits(), cache.Misses(), cache.Dir())
 	}

@@ -13,6 +13,9 @@ import (
 
 func bench(t *testing.T, o options) (string, string, error) {
 	t.Helper()
+	if o.tf.Cores == 0 {
+		o.tf.Cores = 1 // the flag default; tests build options directly
+	}
 	var out, errOut bytes.Buffer
 	err := run(context.Background(), &out, &errOut, o)
 	return out.String(), errOut.String(), err

@@ -33,16 +33,19 @@ import (
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/workloads"
 )
 
 // options collects everything run needs, so tests can drive it without
 // a process-global flag set.
 type options struct {
 	wf         cli.WorkloadFlags
+	tf         cli.TopologyFlags
 	imagePath  string
 	mode       string
 	n          int
@@ -62,6 +65,7 @@ func main() {
 	cli.InstallUsage(fs)
 	var o options
 	o.wf.Register(fs)
+	o.tf.Register(fs)
 	fs.StringVar(&o.imagePath, "image", "", "instrumented image from shinstr (default: uninstrumented baseline)")
 	fs.StringVar(&o.mode, "mode", "solo", "solo | symmetric | dual")
 	fs.IntVar(&o.n, "n", 1, "coroutines to run (solo/symmetric)")
@@ -137,11 +141,27 @@ func (ob observe) finish(w io.Writer, o options, dumpEvents bool) error {
 }
 
 func run(w io.Writer, o options) error {
+	if err := o.tf.Check(); err != nil {
+		return err
+	}
+	if o.tf.Cores > 1 {
+		// Upfront validation: many-core runs rebuild per-core baseline
+		// scenarios and keep observability per core.
+		if o.imagePath != "" {
+			return fmt.Errorf("-image is a single-scenario binary; many-core runs rebuild per-core baselines, drop -cores or -image")
+		}
+		if o.mode == "dual" {
+			return fmt.Errorf("dual mode is a single-core discipline; use -mode solo or symmetric with -cores")
+		}
+	}
 	if o.seeds > 1 {
 		if o.imagePath != "" {
 			return fmt.Errorf("-seeds rebuilds the scenario per seed, which invalidates a fixed -image; drop one of them")
 		}
 		return runSweep(w, o)
+	}
+	if o.tf.Cores > 1 {
+		return runMachine(w, o)
 	}
 	if o.mode == "dual" && o.scavengers+1 > o.wf.Instances {
 		return fmt.Errorf("dual mode needs %d instances (1 primary + %d scavengers); pass -instances", o.scavengers+1, o.scavengers)
@@ -197,6 +217,103 @@ func run(w io.Writer, o options) error {
 	fmt.Fprintf(w, "  retired:    %d instructions, IPC %.2f\n", st.Retired, st.IPC())
 	fmt.Fprintf(w, "  results validated against host reference: ok\n")
 	return ob.finish(w, o, true)
+}
+
+// machineMode maps shrun's -mode vocabulary onto the kernel's per-core
+// disciplines.
+func machineMode(mode string) (machine.Mode, error) {
+	switch mode {
+	case "solo":
+		return machine.ModeSolo, nil
+	case "symmetric":
+		return machine.ModeSymmetric, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q for a many-core run (want solo or symmetric)", mode)
+	}
+}
+
+// runMachine simulates the whole -cores topology under the
+// deterministic cycle-quantum kernel and reports per-core plus
+// machine-level statistics.
+func runMachine(w io.Writer, o options) error {
+	spec, err := cli.SpecByName(o.wf.Workload, o.wf.Instances)
+	if err != nil {
+		return err
+	}
+	md, err := machineMode(o.mode)
+	if err != nil {
+		return err
+	}
+	mach := core.DefaultMachine()
+	mach.Seed = o.wf.Seed
+	topo, err := o.tf.Topology(mach)
+	if err != nil {
+		return err
+	}
+	traceN := o.traceN
+	if traceN == 0 && o.traceOut != "" {
+		traceN = 1 << 16
+	}
+	rc := machine.RunConfig{
+		Spec:    spec,
+		Mode:    md,
+		Tasks:   o.n,
+		Exec:    exec.Config{HWAssist: o.hwAssist, HWAssistProbeCost: 2},
+		Metrics: o.metrics,
+		TraceN:  traceN,
+	}
+	m, err := machine.New(topo, rc)
+	if err != nil {
+		return err
+	}
+	st, err := m.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%s/%s on %d cores: %d cycles (%.0f ns simulated), %d quanta of %d\n",
+		o.wf.Workload, o.mode, topo.Cores, st.Cycles, core.NS(float64(st.Cycles)), st.Quanta, topo.Quantum)
+	for _, cs := range st.Cores {
+		fmt.Fprintf(w, "  core %d (seed %d): %d cycles, %.1f%% busy, %d retired, IPC %.2f\n",
+			cs.Core, cs.Seed, cs.Exec.Cycles, cs.Exec.Efficiency()*100, cs.Exec.Retired, cs.Exec.IPC())
+	}
+	fmt.Fprintf(w, "  aggregate: %d retired, %.3f retired/cycle machine-wide\n",
+		st.Aggregate.Retired, float64(st.Aggregate.Retired)/float64(st.Cycles))
+	fmt.Fprintf(w, "  shared llc: %d hits, %d misses, %d queued (+%d cycles), peak bank load %d/quantum\n",
+		st.LLC.Hits, st.LLC.Misses, st.LLC.Queued, st.LLC.QueueCycles, st.LLC.PeakBankLoad)
+	fmt.Fprintf(w, "  results validated against host reference: ok\n")
+
+	if o.metrics {
+		reg := &metrics.Registry{}
+		st.FillMetrics(reg)
+		if m := reg; m != nil {
+			fmt.Fprint(w, m.Snapshot().Table().String())
+		}
+	}
+	if ring := m.TraceRing(0); ring != nil {
+		if o.traceN > 0 {
+			fmt.Fprintf(w, "\ntrace (core 0): %s\n", ring.Summary())
+			if err := ring.Dump(w); err != nil {
+				return err
+			}
+		}
+		if o.traceOut != "" {
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteChromeTrace(f, ring.Events(), trace.ChromeTraceOptions{}); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "trace: core 0's %d event(s) exported to %s (load in Perfetto / chrome://tracing)\n",
+				ring.Total(), o.traceOut)
+		}
+	}
+	return nil
 }
 
 // execute runs one scenario under the selected discipline, observing
@@ -264,6 +381,9 @@ func runSweep(w io.Writer, o options) error {
 	if observed {
 		o.parallel = 1
 	}
+	if o.tf.Cores > 1 && observed {
+		return fmt.Errorf("many-core observability is per core and not summarized across a sweep; drop -seeds or -metrics/-trace")
+	}
 	spec, err := cli.SpecByName(o.wf.Workload, o.wf.Instances)
 	if err != nil {
 		return err
@@ -284,6 +404,10 @@ func runSweep(w io.Writer, o options) error {
 		if cache, err = runner.OpenCache(dir); err != nil {
 			return err
 		}
+	}
+
+	if o.tf.Cores > 1 {
+		return runMachineSweep(w, o, spec, cache)
 	}
 
 	var jobs []runner.Job
@@ -355,4 +479,76 @@ func runSweep(w io.Writer, o options) error {
 	}
 	// The ring/registry hold the last seed's events and counters.
 	return ob.finish(w, o, false)
+}
+
+// runMachineSweep fans a many-core run across seeds. Jobs carry the
+// full topology, so the cache never confuses a many-core cell with a
+// single-core one (or two topologies with each other).
+func runMachineSweep(w io.Writer, o options, spec workloads.Spec, cache *runner.Cache) error {
+	md, err := machineMode(o.mode)
+	if err != nil {
+		return err
+	}
+	baseTopo, err := o.tf.Topology(core.DefaultMachine())
+	if err != nil {
+		return err
+	}
+	rc := machine.RunConfig{Spec: spec, Mode: md, Tasks: o.n,
+		Exec: exec.Config{HWAssist: o.hwAssist, HWAssistProbeCost: 2}}
+
+	var jobs []runner.Job
+	for i := 0; i < o.seeds; i++ {
+		topo := baseTopo // fresh copy per iteration; &topo below must not alias
+		topo.Machine.Seed = o.wf.Seed + int64(i)*7919
+		jobs = append(jobs, runner.Job{
+			ID: fmt.Sprintf("shrun/%s/%s/cores=%d/n=%d/hw=%t/inst=%d",
+				o.wf.Workload, o.mode, o.tf.Cores, o.n, o.hwAssist, o.wf.Instances),
+			Mach:      topo.Machine,
+			Topo:      &topo,
+			Cacheable: true,
+			Run: func(m core.Machine) (*experiments.Result, error) {
+				t := topo
+				t.Machine = m
+				mm, err := machine.New(t, rc)
+				if err != nil {
+					return nil, err
+				}
+				st, err := mm.Run()
+				if err != nil {
+					return nil, err
+				}
+				return &experiments.Result{ID: "shrun", Metrics: map[string]float64{
+					"cycles":     float64(st.Cycles),
+					"efficiency": float64(st.Aggregate.Busy) / float64(uint64(o.tf.Cores)*st.Cycles),
+					"ipc":        float64(st.Aggregate.Retired) / float64(st.Cycles),
+					"llc_misses": float64(st.LLC.Misses),
+					"llc_queued": float64(st.LLC.Queued),
+				}}, nil
+			},
+		})
+	}
+
+	results, err := runner.Run(context.Background(), jobs, runner.Options{Parallelism: o.parallel, Cache: cache})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable(fmt.Sprintf("%s/%s on %d cores over %d seeds", o.wf.Workload, o.mode, o.tf.Cores, o.seeds),
+		"seed", "cycles", "efficiency", "machine IPC", "llc misses")
+	samples := map[string][]float64{}
+	for _, r := range results {
+		m := r.Res.Metrics
+		tb.Row(r.Job.Mach.Seed, uint64(m["cycles"]), m["efficiency"], m["ipc"], uint64(m["llc_misses"]))
+		for k, v := range m {
+			samples[k] = append(samples[k], v)
+		}
+	}
+	fmt.Fprint(w, tb.String())
+	cyc := stats.Summarize(samples["cycles"])
+	ipc := stats.Summarize(samples["ipc"])
+	fmt.Fprintf(w, "cycles %0.f ± %.0f, machine IPC %.3f ± %.3f (all results validated)\n",
+		cyc.Mean, cyc.Stddev, ipc.Mean, ipc.Stddev)
+	if cache != nil {
+		fmt.Fprintf(w, "cache: %d hit(s), %d miss(es) under %s\n", cache.Hits(), cache.Misses(), cache.Dir())
+	}
+	return nil
 }

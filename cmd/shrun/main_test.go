@@ -14,6 +14,7 @@ import (
 func defaults() options {
 	return options{
 		wf:         cli.WorkloadFlags{Workload: "chase", Instances: 4, Seed: 20230626},
+		tf:         cli.TopologyFlags{Cores: 1},
 		mode:       "solo",
 		n:          1,
 		scavengers: 3,

@@ -62,13 +62,28 @@
 //	snap := s.MetricsSnapshot()            // counters + histograms
 //	_ = s.ExportTrace(f, repro.ChromeTraceOptions{}) // Perfetto-loadable JSON
 //
+// Many-core simulation is cut around Topology: each simulated core owns
+// a private L1/L2 and runs on its own goroutine; all cores share a
+// banked LLC + DRAM with bandwidth/MSHR contention; a cycle-quantum
+// kernel keeps the whole machine deterministic (results are
+// byte-identical across GOMAXPROCS settings and repeated runs):
+//
+//	s, _ = repro.NewSession(repro.WithTopology(repro.DefaultTopology(8)))
+//	st, _ := s.RunMachine(repro.MachineRun{
+//	    Spec: repro.PointerChase{Nodes: 8192, Hops: 3000, Instances: 4},
+//	    Mode: repro.MachineSymmetric,
+//	})
+//	// st.Cores[i] per-core, st.Aggregate + st.LLC machine-wide
+//
 // The package-level bench harness (go test -bench .) and cmd/shbench
 // regenerate every table and figure of the evaluation; see DESIGN.md and
 // EXPERIMENTS.md. The flat pre-Session surface (NewHarness,
-// LookupExperiment, ...) remains as a deprecated compatibility layer.
-// Migration from that surface:
+// LookupExperiment, ...) and the single-core Machine surface remain as
+// deprecated compatibility layers. Migration:
 //
-//	DefaultMachine()        → NewSession(); Session.Machine (inspect) or WithMachine (replace)
+//	DefaultMachine()        → NewSession(); Session.Topology (inspect) or WithTopology (replace)
+//	WithMachine(m)          → WithTopology(Topology{Cores: 1, Machine: m})
+//	Session.Machine()       → Session.Topology().Machine
 //	NewHarness(specs...)    → Session.NewHarness(specs...)
 //	Experiments()           → Session.ExperimentIDs() + Session.RunAll(ctx)
 //	LookupExperiment(id)    → Session.Run(ctx, id)

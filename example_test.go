@@ -43,6 +43,36 @@ func Example_pipeline() {
 	// stalls hidden: true
 }
 
+// Example_manycore simulates a whole 4-core machine: private L1/L2 per
+// core, a shared banked LLC, and the deterministic cycle-quantum
+// kernel. The run is byte-identical regardless of GOMAXPROCS.
+func Example_manycore() {
+	topo := repro.DefaultTopology(4)
+	topo.Machine.MemBytes = 16 << 20 // small per-core memory for the example
+	s, err := repro.NewSession(repro.WithTopology(topo))
+	if err != nil {
+		panic(err)
+	}
+	st, err := s.RunMachine(repro.MachineRun{
+		Spec: repro.PointerChase{Nodes: 1024, Hops: 400, Instances: 2},
+		Mode: repro.MachineSymmetric,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var retired uint64
+	for _, c := range st.Cores {
+		retired += c.Exec.Retired
+	}
+	fmt.Println("cores:", len(st.Cores))
+	fmt.Println("every core retired work:", retired == st.Aggregate.Retired && retired > 0)
+	fmt.Println("shared LLC saw traffic:", st.LLC.Hits+st.LLC.Misses > 0)
+	// Output:
+	// cores: 4
+	// every core retired work: true
+	// shared LLC saw traffic: true
+}
+
 // Example_assembler shows the binary toolchain: assemble, encode,
 // decode, disassemble.
 func Example_assembler() {

@@ -27,9 +27,9 @@ func main() {
 	}
 
 	for _, latNS := range []float64{50, 150, 500} {
-		mach := ref.Machine()
-		mach.CPU.AccelLatency = uint64(latNS * 3) // 3 GHz: ns -> cycles
-		s, err := repro.NewSession(repro.WithMachine(mach))
+		topo := ref.Topology()
+		topo.Machine.CPU.AccelLatency = uint64(latNS * 3) // 3 GHz: ns -> cycles
+		s, err := repro.NewSession(repro.WithTopology(topo))
 		if err != nil {
 			log.Fatal(err)
 		}

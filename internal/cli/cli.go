@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/workloads"
 )
 
@@ -103,6 +104,68 @@ var CanonicalFlags = []struct{ Name, Meaning string }{
 	{"cache", "serve and store results in the content-addressed cache"},
 	{"cache-dir", "cache directory (implies -cache; default ~/.cache/softhide)"},
 	{"trace-out", "write retained trace events as Chrome trace-event JSON"},
+	{"cores", "simulated cores sharing the banked LLC (1 = classic single-core engine)"},
+	{"llc-banks", "shared-LLC bank count override (power of two; needs -cores > 1)"},
+	{"llc-size", "shared-LLC capacity override in bytes (needs -cores > 1)"},
+	{"quantum", "cycle-quantum length of the many-core kernel (0 = default)"},
+}
+
+// TopologyFlags is the common many-core flag set: core count plus
+// shared-LLC and quantum overrides.
+type TopologyFlags struct {
+	Cores    int
+	LLCBanks int
+	LLCSize  uint64
+	Quantum  uint64
+}
+
+// Register installs the topology flags into fs.
+func (tf *TopologyFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&tf.Cores, "cores", 1, "simulated cores sharing the banked LLC (1 = classic single-core engine)")
+	fs.IntVar(&tf.LLCBanks, "llc-banks", 0, "shared-LLC bank count override (power of two; needs -cores > 1)")
+	fs.Uint64Var(&tf.LLCSize, "llc-size", 0, "shared-LLC capacity override in bytes (needs -cores > 1)")
+	fs.Uint64Var(&tf.Quantum, "quantum", 0, "cycle-quantum length of the many-core kernel (0 = default)")
+}
+
+// Check validates flag consistency upfront, so tools that only build a
+// topology when -cores > 1 still reject bad combinations before any
+// simulation starts.
+func (tf *TopologyFlags) Check() error {
+	if tf.Cores < 1 {
+		return fmt.Errorf("-cores must be ≥ 1 (got %d)", tf.Cores)
+	}
+	if tf.Cores == 1 && (tf.LLCBanks != 0 || tf.LLCSize != 0 || tf.Quantum != 0) {
+		return fmt.Errorf("-llc-banks/-llc-size/-quantum tune the many-core kernel, which needs -cores > 1")
+	}
+	return nil
+}
+
+// Topology builds the machine topology described by the flags over the
+// given per-core template, validating everything upfront so a bad flag
+// combination fails before any simulation starts.
+func (tf *TopologyFlags) Topology(mach core.Machine) (machine.Topology, error) {
+	var topo machine.Topology
+	if tf.Cores < 1 {
+		return topo, fmt.Errorf("-cores must be ≥ 1 (got %d)", tf.Cores)
+	}
+	if tf.Cores == 1 && (tf.LLCBanks != 0 || tf.LLCSize != 0) {
+		return topo, fmt.Errorf("-llc-banks/-llc-size configure the shared LLC, which needs -cores > 1")
+	}
+	topo = machine.DefaultTopology(tf.Cores)
+	topo.Machine = mach
+	if tf.LLCBanks != 0 {
+		topo.LLC.Banks = tf.LLCBanks
+	}
+	if tf.LLCSize != 0 {
+		topo.LLC.Size = tf.LLCSize
+	}
+	if tf.Quantum != 0 {
+		topo.Quantum = tf.Quantum
+	}
+	if err := topo.Validate(); err != nil {
+		return topo, err
+	}
+	return topo, nil
 }
 
 // InstallUsage wraps fs.Usage so that help output — including the

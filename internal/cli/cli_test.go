@@ -3,6 +3,8 @@ package cli
 import (
 	"bytes"
 	"flag"
+
+	"repro/internal/core"
 	"strings"
 	"testing"
 )
@@ -93,5 +95,52 @@ func TestInstallUsageListsCanonicalFlags(t *testing.T) {
 	}
 	if !strings.Contains(out, "canonical flags shared across tools") {
 		t.Errorf("usage missing canonical-set banner:\n%s", out)
+	}
+}
+
+func TestTopologyFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var tf TopologyFlags
+	tf.Register(fs)
+	if err := fs.Parse([]string{"-cores", "4", "-llc-banks", "16", "-llc-size", "4194304", "-quantum", "2048"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Check(); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := tf.Topology(core.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Cores != 4 || topo.LLC.Banks != 16 || topo.LLC.Size != 4194304 || topo.Quantum != 2048 {
+		t.Errorf("overrides lost: %+v", topo)
+	}
+
+	for _, bad := range []TopologyFlags{
+		{Cores: 0},
+		{Cores: 1, LLCBanks: 8},
+		{Cores: 1, Quantum: 512},
+	} {
+		bad := bad
+		if err := bad.Check(); err == nil {
+			t.Errorf("Check accepted %+v", bad)
+		}
+	}
+	badBanks := TopologyFlags{Cores: 4, LLCBanks: 3}
+	if _, err := badBanks.Topology(core.DefaultMachine()); err == nil {
+		t.Error("non-power-of-two bank count accepted")
+	}
+}
+
+// Every topology flag is part of the canonical cross-tool vocabulary.
+func TestTopologyFlagsAreCanonical(t *testing.T) {
+	canon := map[string]bool{}
+	for _, f := range CanonicalFlags {
+		canon[f.Name] = true
+	}
+	for _, name := range []string{"cores", "llc-banks", "llc-size", "quantum"} {
+		if !canon[name] {
+			t.Errorf("flag -%s missing from CanonicalFlags", name)
+		}
 	}
 }

@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/coro"
+	"repro/internal/cpu"
+)
+
+// Ticker is the resumable form of RunSolo/RunSymmetric for the
+// cycle-quantum kernel (internal/machine): instead of running a task
+// set to completion, the kernel calls Run with a cycle deadline, the
+// ticker advances until the core clock reaches it, and the kernel
+// resumes it next quantum. Splitting a run at arbitrary cycle deadlines
+// is byte-identical to running it unsplit: RunBlock's busy-budget stop
+// is exactly a fuel split, which the block-engine differential tests
+// pin as equivalence-preserving.
+type Ticker struct {
+	e         *Executor
+	tasks     []*Task
+	solo      bool
+	cur       int
+	running   int
+	steps     uint64
+	start     uint64
+	latencies []uint64
+	done      bool
+	r         cpu.BlockResult
+}
+
+// NewTicker prepares a resumable run over the tasks. solo mirrors
+// RunSolo (exactly one task, no mode forcing, no resume events);
+// otherwise the ticker replays RunSymmetric's setup: all tasks enter
+// primary mode and the first is resumed at the current cycle.
+func (e *Executor) NewTicker(tasks []*Task, solo bool) (*Ticker, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("exec: no tasks")
+	}
+	if solo && len(tasks) != 1 {
+		return nil, fmt.Errorf("exec: solo ticker takes exactly one task, got %d", len(tasks))
+	}
+	t := &Ticker{e: e, tasks: tasks, solo: solo, running: len(tasks), start: e.Core.Now}
+	if !solo {
+		for _, tk := range tasks {
+			tk.Mode = coro.Primary
+			tk.Ctx.Mode = coro.Primary
+		}
+		t.latencies = make([]uint64, len(tasks))
+		e.resume(tasks[0])
+	}
+	return t, nil
+}
+
+// Done reports whether every task has halted (or an error stopped the run).
+func (t *Ticker) Done() bool { return t.done }
+
+// Run advances the task set until the core clock reaches deadline or
+// all tasks halt, whichever comes first. It returns done=true when the
+// run is complete; done=false means the quantum expired and the kernel
+// should call Run again with a later deadline. The loop body is
+// RunSymmetric's verbatim, with the unlimited busy budget replaced by
+// the cycles remaining in the quantum — a budget stop neither yields
+// nor halts, so control simply returns to the deadline check, which
+// fires because a budget stop advances the clock by at least the
+// budget.
+func (t *Ticker) Run(deadline uint64) (bool, error) {
+	if t.done {
+		return true, nil
+	}
+	e := t.e
+	for t.running > 0 {
+		if e.Core.Now >= deadline {
+			return false, nil
+		}
+		if t.steps >= e.Cfg.MaxSteps {
+			return false, ErrFuelExhausted
+		}
+		task := t.tasks[t.cur]
+		if task.Ctx.Halted {
+			// Solo over an already-halted context: nothing to run.
+			t.running--
+			continue
+		}
+		if err := e.Core.RunBlock(task.Ctx, false, e.Cfg.MaxSteps-t.steps, deadline-e.Core.Now, &t.r); err != nil {
+			return false, err
+		}
+		t.steps += t.r.Steps
+		switch {
+		case t.r.Halted:
+			if !t.solo {
+				t.latencies[t.cur] = e.Core.Now - t.start
+			}
+			t.running--
+			if t.running == 0 {
+				break
+			}
+			t.cur = e.nextRunnable(t.tasks, t.cur)
+			e.resume(t.tasks[t.cur])
+		case t.r.Yield && !t.solo:
+			nxt := e.nextRunnable(t.tasks, t.cur)
+			if nxt != t.cur {
+				e.switchFrom(task, t.r.LiveMask)
+				t.cur = nxt
+				e.resume(t.tasks[t.cur])
+			}
+		}
+	}
+	t.done = true
+	return true, nil
+}
+
+// Stats assembles the run statistics. Valid once Done; the fields match
+// what RunSolo/RunSymmetric would have returned for the same task set.
+func (t *Ticker) Stats() Stats {
+	st := Stats{Cycles: t.e.Core.Now - t.start, Latencies: t.latencies}
+	collect(&st, t.tasks...)
+	return st
+}

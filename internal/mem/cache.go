@@ -259,11 +259,18 @@ func (c *cache) lookup(addr uint64) bool {
 // contains probes without disturbing recency state (used by the §4.1
 // cache-presence probe, which must not behave like a touch).
 func (c *cache) contains(addr uint64) bool {
-	ln := c.line(addr) + 1
-	base := ((ln - 1) & c.setMask) * uint64(c.ways)
+	return c.containsTag(c.line(addr) + 1)
+}
+
+// containsTag is the tag-keyed form of contains, for callers (the
+// shared-LLC banks) whose key space is not a byte address. tag is a
+// line index plus one, as stored in the tag array. Read-only: no
+// recency update, safe for concurrent readers between commits.
+func (c *cache) containsTag(tag uint64) bool {
+	base := ((tag - 1) & c.setMask) * uint64(c.ways)
 	tags := c.tags[base : base+uint64(c.ways)]
 	for _, t := range tags {
-		if t == ln {
+		if t == tag {
 			return true
 		}
 	}

@@ -144,6 +144,11 @@ type Hierarchy struct {
 	recent    [8]uint64
 	recentPos int
 
+	// llc, when non-nil, replaces the private l3: L2 misses are served by
+	// the shared banked LLC through this per-core view. Nil (the default)
+	// keeps the original private three-level model bit-for-bit.
+	llc *LLCView
+
 	Stats Stats
 }
 
@@ -177,6 +182,17 @@ func MustNewHierarchy(cfg Config) *Hierarchy {
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// AttachLLC replaces the private L3 with a per-core view of a shared
+// banked LLC (see llc.go). Attach before the first access: the private
+// l3 keeps whatever state it had and is never consulted again. Flush
+// still clears only the private levels — the shared LLC belongs to the
+// machine, not to any one core.
+func (h *Hierarchy) AttachLLC(v *LLCView) { h.llc = v }
+
+// LLC returns the attached shared-LLC view, or nil when the hierarchy
+// runs its private three-level model.
+func (h *Hierarchy) LLC() *LLCView { return h.llc }
 
 func (h *Hierarchy) lineAddr(addr uint64) uint64 {
 	return addr &^ (h.cfg.LineSize - 1)
@@ -236,6 +252,32 @@ func (h *Hierarchy) AccessW(addr, now uint64, write bool) AccessResult {
 	tag := (ln >> h.lineShift) + 1
 	h1, dirty := h.l1.access(tag, write)
 	h2, _ := h.l2.access(tag, false)
+	if h.llc != nil {
+		// Shared-LLC mode: L2 misses are served by the banked LLC view.
+		// L1/L2 hits generate no LLC traffic; the miss is logged by
+		// Demand and installed at the next quantum commit.
+		var lvl Level
+		var lat uint64
+		switch {
+		case h1:
+			lvl, lat = LevelL1, h.lat[LevelL1]
+		case h2:
+			lvl, lat = LevelL2, h.lat[LevelL2]
+		default:
+			lvl, lat = h.llc.Demand(ln)
+		}
+		var wb uint64
+		if dirty {
+			h.Stats.Writebacks++
+			wb = h.cfg.WritebackPenalty
+		}
+		h.Stats.Accesses[lvl]++
+		return AccessResult{
+			Latency:  lat + wb,
+			Level:    lvl,
+			MissedL2: lvl == LevelL3 || lvl == LevelDRAM,
+		}
+	}
 	h3, _ := h.l3.access(tag, false)
 	var lvl Level
 	switch {
@@ -289,15 +331,26 @@ func (h *Hierarchy) Prefetch(addr, now uint64) (Level, uint64) {
 		return LevelDRAM, now
 	}
 	var lvl Level
-	switch {
-	case h.l2.contains(ln):
-		lvl = LevelL2
-	case h.l3.contains(ln):
-		lvl = LevelL3
-	default:
-		lvl = LevelDRAM
+	var completion uint64
+	if h.llc != nil {
+		if h.l2.contains(ln) {
+			lvl, completion = LevelL2, now+h.cfg.Latency(LevelL2)
+		} else {
+			var lat uint64
+			lvl, lat = h.llc.Demand(ln)
+			completion = now + lat
+		}
+	} else {
+		switch {
+		case h.l2.contains(ln):
+			lvl = LevelL2
+		case h.l3.contains(ln):
+			lvl = LevelL3
+		default:
+			lvl = LevelDRAM
+		}
+		completion = now + h.cfg.Latency(lvl)
 	}
-	completion := now + h.cfg.Latency(lvl)
 	h.fills.insert(ln, completion, lvl)
 	if n := uint64(h.fills.len()); n > h.Stats.MSHRPeak {
 		h.Stats.MSHRPeak = n
@@ -362,15 +415,27 @@ func (h *Hierarchy) hwPrefetch(ln, now uint64) {
 		}
 	}
 	var lvl Level
-	switch {
-	case h.l2.contains(ln):
-		lvl = LevelL2
-	case h.l3.contains(ln):
-		lvl = LevelL3
-	default:
-		lvl = LevelDRAM
+	var completion uint64
+	if h.llc != nil {
+		if h.l2.contains(ln) {
+			lvl, completion = LevelL2, now+h.cfg.Latency(LevelL2)
+		} else {
+			var lat uint64
+			lvl, lat = h.llc.Demand(ln)
+			completion = now + lat
+		}
+	} else {
+		switch {
+		case h.l2.contains(ln):
+			lvl = LevelL2
+		case h.l3.contains(ln):
+			lvl = LevelL3
+		default:
+			lvl = LevelDRAM
+		}
+		completion = now + h.cfg.Latency(lvl)
 	}
-	h.fills.insert(ln, now+h.cfg.Latency(lvl), lvl)
+	h.fills.insert(ln, completion, lvl)
 	if n := uint64(h.fills.len()); n > h.Stats.MSHRPeak {
 		h.Stats.MSHRPeak = n
 	}
@@ -402,8 +467,11 @@ func (h *Hierarchy) Contains(addr, now uint64, level Level) bool {
 	if level >= LevelL2 && h.l2.contains(ln) {
 		return true
 	}
-	if level >= LevelL3 && h.l3.contains(ln) {
-		return true
+	if level >= LevelL3 {
+		if h.llc != nil {
+			return h.llc.Contains(ln)
+		}
+		return h.l3.contains(ln)
 	}
 	return false
 }
@@ -456,7 +524,11 @@ func (h *Hierarchy) install(ln uint64, write bool) uint64 {
 	tag := (ln >> h.lineShift) + 1
 	_, dirty := h.l1.access(tag, write)
 	h.l2.access(tag, false)
-	h.l3.access(tag, false)
+	if h.llc != nil {
+		h.llc.Fill(ln)
+	} else {
+		h.l3.access(tag, false)
+	}
 	if dirty {
 		h.Stats.Writebacks++
 		return h.cfg.WritebackPenalty

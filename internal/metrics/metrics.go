@@ -121,6 +121,27 @@ type Sampler struct {
 	OverheadCycles uint64 // modelled profiling overhead
 }
 
+// Machine aggregates many-core kernel accounting, filled from
+// machine.Stats after a Run: quantum/barrier counts, shared-LLC traffic
+// and contention, plus aggregate work across all cores. Per-core detail
+// lives in the per-core registries the kernel allocates; this section
+// is the roll-up a session-level registry sees.
+type Machine struct {
+	Cores  uint64 // simulated cores in the topology
+	Quanta uint64 // cycle quanta (barrier commits) executed
+	Cycles uint64 // simulated cycles (max across cores)
+	// Shared-LLC traffic: probes by outcome, plus contention queueing.
+	LLCHits        uint64
+	LLCMisses      uint64
+	LLCQueued      uint64 // accesses that paid a contention penalty
+	LLCQueueCycles uint64 // total penalty cycles added
+	LLCPeakBank    uint64 // peak per-bank committed load of any quantum
+	// Aggregate work across cores.
+	Retired     uint64
+	BusyCycles  uint64
+	StallCycles uint64
+}
+
 // Registry is the top-level observability registry: one value per
 // domain, all plain data. The zero value is ready to use.
 type Registry struct {
@@ -129,6 +150,7 @@ type Registry struct {
 	Exec    Exec
 	Sched   Sched
 	Sampler Sampler
+	Machine Machine
 }
 
 // Reset zeroes every counter and histogram in place.
@@ -142,11 +164,12 @@ type Snapshot struct {
 	Exec    Exec
 	Sched   Sched
 	Sampler Sampler
+	Machine Machine
 }
 
 // Snapshot copies the registry's current state.
 func (r *Registry) Snapshot() Snapshot {
-	return Snapshot{Mem: r.Mem, CPU: r.CPU, Exec: r.Exec, Sched: r.Sched, Sampler: r.Sampler}
+	return Snapshot{Mem: r.Mem, CPU: r.CPU, Exec: r.Exec, Sched: r.Sched, Sampler: r.Sampler, Machine: r.Machine}
 }
 
 // Table renders the snapshot as a stats.Table (domain, metric, value
@@ -191,6 +214,17 @@ func (s Snapshot) Table() *stats.Table {
 	row("sampler", "dropped", s.Sampler.Dropped)
 	row("sampler", "branches", s.Sampler.Branches)
 	row("sampler", "overhead_cycles", s.Sampler.OverheadCycles)
+	row("machine", "cores", s.Machine.Cores)
+	row("machine", "quanta", s.Machine.Quanta)
+	row("machine", "cycles", s.Machine.Cycles)
+	row("machine", "llc_hits", s.Machine.LLCHits)
+	row("machine", "llc_misses", s.Machine.LLCMisses)
+	row("machine", "llc_queued", s.Machine.LLCQueued)
+	row("machine", "llc_queue_cycles", s.Machine.LLCQueueCycles)
+	row("machine", "llc_peak_bank_load", s.Machine.LLCPeakBank)
+	row("machine", "retired", s.Machine.Retired)
+	row("machine", "busy_cycles", s.Machine.BusyCycles)
+	row("machine", "stall_cycles", s.Machine.StallCycles)
 	return t
 }
 
@@ -270,4 +304,15 @@ func (s Snapshot) Metrics(dst map[string]float64) {
 	put("sampler.dropped", s.Sampler.Dropped)
 	put("sampler.branches", s.Sampler.Branches)
 	put("sampler.overhead_cycles", s.Sampler.OverheadCycles)
+	put("machine.cores", s.Machine.Cores)
+	put("machine.quanta", s.Machine.Quanta)
+	put("machine.cycles", s.Machine.Cycles)
+	put("machine.llc_hits", s.Machine.LLCHits)
+	put("machine.llc_misses", s.Machine.LLCMisses)
+	put("machine.llc_queued", s.Machine.LLCQueued)
+	put("machine.llc_queue_cycles", s.Machine.LLCQueueCycles)
+	put("machine.llc_peak_bank_load", s.Machine.LLCPeakBank)
+	put("machine.retired", s.Machine.Retired)
+	put("machine.busy_cycles", s.Machine.BusyCycles)
+	put("machine.stall_cycles", s.Machine.StallCycles)
 }

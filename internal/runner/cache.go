@@ -14,8 +14,10 @@ import (
 
 // cacheSchema versions the on-disk entry format. Bump it whenever the
 // serialized Result shape or the simulator's observable behaviour
-// changes, so stale entries miss instead of lying.
-const cacheSchema = 1
+// changes, so stale entries miss instead of lying. Schema 2: the key
+// preimage gained the job's machine topology (many-core runs), so every
+// pre-topology entry deliberately misses.
+const cacheSchema = 2
 
 // Cache is a content-addressed store of experiment results keyed by
 // (schema, experiment ID, machine). Entries are immutable JSON files
@@ -53,15 +55,17 @@ func (c *Cache) Hits() uint64   { return c.hits.Load() }
 func (c *Cache) Misses() uint64 { return c.misses.Load() }
 
 // Key derives the content address of a job: a SHA-256 over the schema
-// version, the experiment ID and the complete machine description
-// (which embeds the seed). Two jobs share a key exactly when the
-// simulator would be handed identical inputs.
+// version, the experiment ID, the complete machine description (which
+// embeds the seed) and — for many-core jobs — the full topology. Two
+// jobs share a key exactly when the simulator would be handed identical
+// inputs.
 func (c *Cache) Key(j Job) (string, error) {
 	payload, err := json.Marshal(struct {
 		Schema int
 		ID     string
 		Mach   interface{}
-	}{cacheSchema, j.ID, j.Mach})
+		Topo   interface{} `json:",omitempty"`
+	}{cacheSchema, j.ID, j.Mach, j.Topo})
 	if err != nil {
 		return "", err
 	}

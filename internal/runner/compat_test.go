@@ -11,13 +11,17 @@ import (
 	"repro/internal/metrics"
 )
 
-// fixtureDir holds a cache entry written before PR 2's allocation-free
-// hot-path rewrite. The rewrite claims observational equivalence, so the
-// same schema version must keep serving entries cached by the old
-// implementation — and the served bytes must match what the current
+// fixtureDir holds a cache entry written at the current cacheSchema.
+// Later changes that claim observational equivalence must keep serving
+// this entry — and the served bytes must match what the current
 // implementation computes. If the entry misses, the cache key (schema,
-// ID, machine shape) drifted; if the bytes differ, the simulator's
-// observable behaviour changed and cacheSchema should have been bumped.
+// ID, machine or topology shape) drifted; if the bytes differ, the
+// simulator's observable behaviour changed and cacheSchema should have
+// been bumped.
+//
+// History: the fixture was regenerated at schema 2, when the key
+// preimage gained the job topology (many-core machines); schema-1
+// entries deliberately miss (see TestCacheSchemaBump).
 //
 // Regenerate deliberately with:
 //

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/machine"
 )
 
 // Job is one executable cell of a sweep: an experiment applied to a
@@ -37,6 +38,10 @@ type Job struct {
 	// Mach is the machine the experiment runs on. Each job gets the
 	// value by copy, so workers can never share simulator state.
 	Mach core.Machine
+	// Topo, when non-nil, is the many-core topology the job simulates;
+	// it is part of the cache key, so single-core (nil) and topology
+	// jobs never collide. Classic registry experiments leave it nil.
+	Topo *machine.Topology
 	// Run produces the result. When nil, the ID is resolved through the
 	// experiment registry at execution time.
 	Run experiments.Runner

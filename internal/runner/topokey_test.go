@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+)
+
+// A schema-1 entry (pre-topology key preimage) must miss under the
+// current schema even if a file with the current key's name exists on
+// disk with old-schema contents.
+func TestCacheSchemaBump(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := Job{ID: "E1", Mach: core.DefaultMachine(), Cacheable: true}
+	key, err := c.Key(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, _ := json.Marshal(entry{Schema: 1, ID: j.ID, Result: &experiments.Result{ID: j.ID}})
+	if err := os.WriteFile(c.path(key), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(j); ok {
+		t.Fatal("schema-1 entry served under schema 2")
+	}
+}
+
+// Topology participates in the key: a nil-topology job, a 1-core
+// topology job and an 8-core topology job are three distinct cells.
+func TestCacheKeyIncludesTopology(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Job{ID: "E1", Mach: core.DefaultMachine(), Cacheable: true}
+	topo1 := machine.DefaultTopology(1)
+	topo8 := machine.DefaultTopology(8)
+
+	keys := map[string]string{}
+	for name, j := range map[string]Job{
+		"classic": base,
+		"cores1":  {ID: base.ID, Mach: base.Mach, Topo: &topo1, Cacheable: true},
+		"cores8":  {ID: base.ID, Mach: base.Mach, Topo: &topo8, Cacheable: true},
+	} {
+		k, err := c.Key(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for prev, pk := range keys {
+			if pk == k {
+				t.Errorf("jobs %q and %q share cache key %s", name, prev, k)
+			}
+		}
+		keys[name] = k
+	}
+
+	// Same topology value → same key (pointer identity must not leak in).
+	topo8b := machine.DefaultTopology(8)
+	ka, _ := c.Key(Job{ID: base.ID, Mach: base.Mach, Topo: &topo8})
+	kb, _ := c.Key(Job{ID: base.ID, Mach: base.Mach, Topo: &topo8b})
+	if ka != kb {
+		t.Error("identical topologies hash to different keys")
+	}
+}

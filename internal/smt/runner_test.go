@@ -1,0 +1,92 @@
+package smt
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/coro"
+)
+
+// A Runner driven in fixed cycle quanta must be byte-identical to the
+// run-to-completion Run: same stats, same final clock, same memory
+// counters, same architectural results — the block engine's busy-budget
+// stop is a fuel split, and the idle advance splits losslessly because
+// the remaining wait is re-derived from blockedUntil.
+func TestRunnerSlicedEquivalence(t *testing.T) {
+	build := func() (st Stats, now uint64, results []uint64) {
+		core, m := machine(t)
+		var ctxs []*coro.Context
+		for i := 0; i < 4; i++ {
+			ctxs = append(ctxs, chaser(m, i, 300, buildChain(m, 256, int64(30+i))))
+		}
+		st, err := Run(core, Config{Contexts: 4, MaxSteps: 1 << 24}, ctxs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range ctxs {
+			results = append(results, c.Result)
+		}
+		return st, core.Now, results
+	}
+	refSt, refNow, refRes := build()
+
+	for _, quantum := range []uint64{32, 257, 2048, 1 << 24} {
+		core, m := machine(t)
+		var ctxs []*coro.Context
+		for i := 0; i < 4; i++ {
+			ctxs = append(ctxs, chaser(m, i, 300, buildChain(m, 256, int64(30+i))))
+		}
+		rn, err := NewRunner(core, Config{Contexts: 4, MaxSteps: 1 << 24}, ctxs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := core.Now
+		quanta := 0
+		for {
+			deadline += quantum
+			done, err := rn.Run(deadline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			quanta++
+			if done {
+				break
+			}
+			if quanta > 1<<22 {
+				t.Fatal("runner did not converge")
+			}
+		}
+		if !rn.Done() {
+			t.Fatal("Done() false after completion")
+		}
+		st := rn.Stats()
+		if !reflect.DeepEqual(st, refSt) {
+			t.Errorf("quantum %d: stats diverged\n got %+v\nwant %+v", quantum, st, refSt)
+		}
+		if core.Now != refNow {
+			t.Errorf("quantum %d: clock diverged: %d vs %d", quantum, core.Now, refNow)
+		}
+		for i, c := range ctxs {
+			if c.Result != refRes[i] {
+				t.Errorf("quantum %d: context %d result diverged", quantum, i)
+			}
+		}
+		if quantum == 32 && quanta < 2 {
+			t.Error("slicing untested: one quantum sufficed")
+		}
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	core, m := machine(t)
+	ctx := chaser(m, 0, 1, buildChain(m, 16, 1))
+	if _, err := NewRunner(core, Config{Contexts: 0}, []*coro.Context{ctx}); err == nil {
+		t.Error("zero contexts accepted")
+	}
+	if _, err := NewRunner(core, Config{Contexts: 2}, nil); err == nil {
+		t.Error("empty context list accepted")
+	}
+	if _, err := NewRunner(core, Config{Contexts: 1}, []*coro.Context{ctx, ctx}); err == nil {
+		t.Error("oversubscription accepted")
+	}
+}

@@ -64,14 +64,48 @@ func (s Stats) Efficiency() float64 {
 // yields (YIELD/CYIELD) retire as no-ops: SMT is hardware-only and cannot
 // see them. len(ctxs) must not exceed cfg.Contexts.
 func Run(core *cpu.Core, cfg Config, ctxs []*coro.Context) (Stats, error) {
+	r, err := NewRunner(core, cfg, ctxs)
+	if err != nil {
+		return Stats{}, err
+	}
+	if _, err := r.Run(^uint64(0)); err != nil {
+		return Stats{}, err
+	}
+	return r.Stats(), nil
+}
+
+// Runner is the resumable form of Run for the cycle-quantum kernel
+// (internal/machine): Run(deadline) multiplexes the contexts until the
+// core clock reaches the deadline, and a later call picks up exactly
+// where the previous one stopped. Run(^uint64(0)) is the classic
+// run-to-completion discipline — the free Run function is that wrapper.
+type Runner struct {
+	core *cpu.Core
+	cfg  Config
+	ctxs []*coro.Context
+
+	latencies    []uint64
+	blockedUntil []uint64
+	idle         uint64
+	running      int
+	cur          int
+	steps        uint64
+	sliceUsed    uint64
+	start        uint64
+	done         bool
+	r            cpu.BlockResult
+}
+
+// NewRunner validates the configuration and prepares a resumable run.
+func NewRunner(core *cpu.Core, cfg Config, ctxs []*coro.Context) (*Runner, error) {
 	if cfg.Contexts <= 0 {
-		return Stats{}, fmt.Errorf("smt: context count must be positive")
+		return nil, fmt.Errorf("smt: context count must be positive")
 	}
 	if len(ctxs) == 0 {
-		return Stats{}, fmt.Errorf("smt: no contexts")
+		return nil, fmt.Errorf("smt: no contexts")
 	}
 	if len(ctxs) > cfg.Contexts {
-		return Stats{}, fmt.Errorf("smt: %d software threads exceed %d hardware contexts", len(ctxs), cfg.Contexts)
+		return nil, fmt.Errorf("smt: %d software threads exceed %d hardware contexts", len(ctxs), cfg.Contexts)
 	}
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = DefaultConfig().MaxSteps
@@ -79,25 +113,48 @@ func Run(core *cpu.Core, cfg Config, ctxs []*coro.Context) (Stats, error) {
 	if cfg.Quantum == 0 {
 		cfg.Quantum = DefaultConfig().Quantum
 	}
-
 	if !core.HasPlan() {
 		// Enable the basic-block fast path; the program was validated at
 		// core construction, so this cannot fail (and a nil plan would
 		// only mean per-instruction dispatch, never a wrong answer).
 		_ = bincfg.InstallFastPath(core)
 	}
+	return &Runner{
+		core:         core,
+		cfg:          cfg,
+		ctxs:         ctxs,
+		latencies:    make([]uint64, len(ctxs)),
+		blockedUntil: make([]uint64, len(ctxs)),
+		running:      len(ctxs),
+		start:        core.Now,
+	}, nil
+}
 
-	start := core.Now
-	st := Stats{Latencies: make([]uint64, len(ctxs))}
-	blockedUntil := make([]uint64, len(ctxs))
-	running := len(ctxs)
-	cur := 0
-	var steps, sliceUsed uint64
-	var r cpu.BlockResult
+// Done reports whether every context has halted.
+func (rn *Runner) Done() bool { return rn.done }
 
-	for running > 0 {
-		if steps >= cfg.MaxSteps {
-			return Stats{}, fmt.Errorf("smt: MaxSteps exceeded")
+// Run advances the multiplexed contexts until the core clock reaches
+// deadline or all contexts halt. done=false means the quantum expired;
+// call again with a later deadline. The loop is the original Run's,
+// with two deadline clips: the busy budget handed to the block engine
+// never extends past the deadline (in block mode the clock advances by
+// exactly the busy cycles retired, so a budget stop lands at or past
+// the deadline), and an all-blocked idle advance stops at the deadline
+// (the remaining idle is re-derived next quantum from blockedUntil, so
+// splitting the wait changes no state).
+func (rn *Runner) Run(deadline uint64) (bool, error) {
+	if rn.done {
+		return true, nil
+	}
+	core := rn.core
+	cfg := rn.cfg
+	ctxs := rn.ctxs
+	for rn.running > 0 {
+		if core.Now >= deadline {
+			return false, nil
+		}
+		if rn.steps >= cfg.MaxSteps {
+			return false, fmt.Errorf("smt: MaxSteps exceeded")
 		}
 		// Pick the next runnable context, round-robin from cur. Contexts
 		// skipped over (earlier in scan order but currently blocked) may
@@ -108,16 +165,16 @@ func Run(core *cpu.Core, cfg Config, ctxs []*coro.Context) (Stats, error) {
 		picked := -1
 		preemptAt := uint64(0)
 		for off := 0; off < len(ctxs); off++ {
-			i := (cur + off) % len(ctxs)
+			i := (rn.cur + off) % len(ctxs)
 			if ctxs[i].Halted {
 				continue
 			}
-			if blockedUntil[i] <= core.Now {
+			if rn.blockedUntil[i] <= core.Now {
 				picked = i
 				break
 			}
-			if preemptAt == 0 || blockedUntil[i] < preemptAt {
-				preemptAt = blockedUntil[i]
+			if preemptAt == 0 || rn.blockedUntil[i] < preemptAt {
+				preemptAt = rn.blockedUntil[i]
 			}
 		}
 		if picked < 0 {
@@ -129,52 +186,70 @@ func Run(core *cpu.Core, cfg Config, ctxs []*coro.Context) (Stats, error) {
 				if ctxs[i].Halted {
 					continue
 				}
-				if first || blockedUntil[i] < soonest {
-					soonest = blockedUntil[i]
+				if first || rn.blockedUntil[i] < soonest {
+					soonest = rn.blockedUntil[i]
 					first = false
 				}
 			}
 			if first || soonest <= core.Now {
-				return Stats{}, fmt.Errorf("smt: deadlock — nothing runnable and nothing blocked")
+				return false, fmt.Errorf("smt: deadlock — nothing runnable and nothing blocked")
 			}
-			st.Idle += soonest - core.Now
+			if soonest > deadline {
+				soonest = deadline
+			}
+			rn.idle += soonest - core.Now
 			core.AdvanceIdle(soonest - core.Now)
 			continue
 		}
 		// The busy budget is the remaining quantum, clipped to the next
-		// wake-up of a skipped-over peer: in block mode the clock advances
-		// by exactly the busy cycles retired, so a budget of (preemptAt −
-		// Now) stops at the first boundary where that peer is runnable.
-		budget := cfg.Quantum - sliceUsed
+		// wake-up of a skipped-over peer and to the kernel deadline: in
+		// block mode the clock advances by exactly the busy cycles
+		// retired, so a budget of (preemptAt − Now) stops at the first
+		// boundary where that peer is runnable.
+		budget := cfg.Quantum - rn.sliceUsed
 		if preemptAt > core.Now && preemptAt-core.Now < budget {
 			budget = preemptAt - core.Now
 		}
-		if err := core.RunBlock(ctxs[picked], true, cfg.MaxSteps-steps, budget, &r); err != nil {
-			return Stats{}, err
+		if deadline-core.Now < budget {
+			budget = deadline - core.Now
 		}
-		steps += r.Steps
-		sliceUsed += r.Busy
+		if err := core.RunBlock(ctxs[picked], true, cfg.MaxSteps-rn.steps, budget, &rn.r); err != nil {
+			return false, err
+		}
+		rn.steps += rn.r.Steps
+		rn.sliceUsed += rn.r.Busy
 		rotate := false
-		if r.Stall > 0 {
+		if rn.r.Stall > 0 {
 			// Block on the fill; the hardware switches to a peer for free.
-			blockedUntil[picked] = core.Now + r.Stall
-			ctxs[picked].StallCycles += r.Stall
+			rn.blockedUntil[picked] = core.Now + rn.r.Stall
+			ctxs[picked].StallCycles += rn.r.Stall
 			rotate = true
 		}
-		if r.Halted {
-			st.Latencies[picked] = core.Now - start
-			running--
+		if rn.r.Halted {
+			rn.latencies[picked] = core.Now - rn.start
+			rn.running--
 			rotate = true
 		}
-		if rotate || sliceUsed >= cfg.Quantum {
-			cur = (picked + 1) % len(ctxs)
-			sliceUsed = 0
+		if rotate || rn.sliceUsed >= cfg.Quantum {
+			rn.cur = (picked + 1) % len(ctxs)
+			rn.sliceUsed = 0
 		}
 	}
-	st.Cycles = core.Now - start
-	for _, c := range ctxs {
+	rn.done = true
+	return true, nil
+}
+
+// Stats assembles the run statistics; the fields match what the free
+// Run would have returned for the same inputs.
+func (rn *Runner) Stats() Stats {
+	st := Stats{
+		Cycles:    rn.core.Now - rn.start,
+		Idle:      rn.idle,
+		Latencies: rn.latencies,
+	}
+	for _, c := range rn.ctxs {
 		st.Busy += c.BusyCycles
 		st.Retired += c.Retired
 	}
-	return st, nil
+	return st
 }

@@ -32,6 +32,24 @@ step=$(go test -run '^$' -bench 'BenchmarkCoreStep$|BenchmarkCoreBlock$' -benchm
 echo "$step"
 
 echo
+echo "== many-core machine scaling (benchtime=$benchtime) =="
+# Aggregate step rate of the cycle-quantum kernel at 1/2/4/8 simulated
+# cores. The absolute multi-core rates only mean something on a host with
+# that much parallelism (nproc below records the context); the recorded
+# trajectory file documents the host they were measured on.
+echo "host parallelism: $(nproc 2>/dev/null || echo unknown) cpu(s)"
+scaling=$(go test -run '^$' -bench 'BenchmarkMachineScaling' -benchmem -benchtime "$benchtime" .)
+echo "$scaling"
+
+# Hard check: the machine kernel's steady-state Step must not allocate
+# (the same 0-alloc line the single-core step path is held to).
+if ! go test -run 'TestMachineSteadyStateAllocs' -count=1 ./internal/machine/ >/dev/null; then
+    echo "FAIL: machine steady-state Step allocates (TestMachineSteadyStateAllocs)" >&2
+    exit 1
+fi
+echo "OK: machine steady-state Step is allocation-free (TestMachineSteadyStateAllocs)"
+
+echo
 echo "== recorded trajectory ($trajectory) =="
 grep -E '"(ns_per_op|ns_per_instr|allocs_per_op|minstrs_per_sec|speedup)"' "$trajectory"
 

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/trace"
@@ -16,10 +18,10 @@ import (
 )
 
 // Session is the package's cohesive entry point: it owns the machine
-// description, experiment lookup and execution policy (parallelism,
+// topology, experiment lookup and execution policy (parallelism,
 // result cache, tracing), and hands out harnesses bound to that
-// machine. A zero-configuration session runs the reference machine
-// sequentially:
+// machine. A zero-configuration session runs the single-core reference
+// machine sequentially:
 //
 //	s, _ := repro.NewSession()
 //	results, _ := s.RunAll(context.Background())
@@ -31,8 +33,13 @@ import (
 //	    repro.WithParallelism(8),
 //	    repro.WithCache(""),        // "" = ~/.cache/softhide
 //	)
+//
+// A many-core session simulates the whole topology in one run:
+//
+//	s, _ := repro.NewSession(repro.WithTopology(repro.DefaultTopology(8)))
+//	st, _ := s.RunMachine(repro.MachineRun{Spec: repro.PointerChase{...}})
 type Session struct {
-	mach        Machine
+	topo        machine.Topology
 	parallelism int
 	cache       *runner.Cache
 	obs         ObservabilityConfig
@@ -46,7 +53,7 @@ type Session struct {
 type Option func(*sessionConfig)
 
 type sessionConfig struct {
-	mach        Machine
+	topo        machine.Topology
 	seed        *int64
 	parallelism int
 	cacheDir    *string
@@ -55,11 +62,16 @@ type sessionConfig struct {
 }
 
 // WithMachine replaces the reference machine wholesale.
+//
+// Deprecated: prefer WithTopology, which carries the core count and
+// shared-LLC description alongside the per-core machine. WithMachine(m)
+// is equivalent to WithTopology(Topology{Cores: 1, Machine: m}).
 func WithMachine(m Machine) Option {
-	return func(c *sessionConfig) { c.mach = m }
+	return func(c *sessionConfig) { c.topo = machine.Topology{Cores: 1, Machine: m} }
 }
 
-// WithSeed overrides the scenario seed (applied after WithMachine).
+// WithSeed overrides the scenario seed (applied after WithTopology /
+// WithMachine, to the per-core template's seed).
 func WithSeed(seed int64) Option {
 	return func(c *sessionConfig) { c.seed = &seed }
 }
@@ -138,14 +150,14 @@ func WithTracer(t Tracer) Option {
 // NewSession builds a session over the reference machine, then applies
 // the options in order.
 func NewSession(opts ...Option) (*Session, error) {
-	cfg := sessionConfig{mach: core.DefaultMachine(), parallelism: 1}
+	cfg := sessionConfig{topo: machine.Topology{Cores: 1, Machine: core.DefaultMachine()}, parallelism: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.seed != nil {
-		cfg.mach.Seed = *cfg.seed
+		cfg.topo.Machine.Seed = *cfg.seed
 	}
-	s := &Session{mach: cfg.mach, parallelism: cfg.parallelism, obs: cfg.obs, verify: cfg.verify}
+	s := &Session{topo: cfg.topo, parallelism: cfg.parallelism, obs: cfg.obs, verify: cfg.verify}
 	if cfg.cacheDir != nil {
 		dir := *cfg.cacheDir
 		if dir == "" {
@@ -163,9 +175,12 @@ func NewSession(opts ...Option) (*Session, error) {
 	return s, nil
 }
 
-// Machine returns the session's machine description (by value; mutating
-// the copy does not affect the session).
-func (s *Session) Machine() Machine { return s.mach }
+// Machine returns the session's per-core machine template (by value;
+// mutating the copy does not affect the session).
+//
+// Deprecated: prefer Session.Topology, which carries the whole machine
+// description; this is Topology().Machine.
+func (s *Session) Machine() Machine { return s.topo.Machine }
 
 // CacheDir returns the result-cache directory, or "" when caching is
 // disabled.
@@ -176,9 +191,10 @@ func (s *Session) CacheDir() string {
 	return s.cache.Dir()
 }
 
-// NewHarness composes workload specs over the session's machine.
+// NewHarness composes workload specs over the session's per-core
+// machine template.
 func (s *Session) NewHarness(specs ...workloads.Spec) (*Harness, error) {
-	return core.NewHarness(s.mach, specs...)
+	return core.NewHarness(s.topo.Machine, specs...)
 }
 
 // NewExecutor builds an executor over an image, injecting the session's
@@ -195,7 +211,7 @@ func (s *Session) NewExecutor(h *Harness, img *Image, cfg ExecConfig) *Executor 
 }
 
 // ExperimentIDs lists every registered experiment in presentation order.
-func (s *Session) ExperimentIDs() []string { return ExperimentIDs() }
+func (s *Session) ExperimentIDs() []string { return experiments.IDs() }
 
 // Run executes one experiment on the session's machine (consulting the
 // cache when enabled).
@@ -237,9 +253,9 @@ func (s *Session) Sweep(ctx context.Context, ids []string, seeds int) ([]RunRepo
 		}
 	}
 	if len(ids) == 0 {
-		ids = ExperimentIDs()
+		ids = s.ExperimentIDs()
 	}
-	jobs, err := runner.Jobs(ids, s.mach, seeds)
+	jobs, err := runner.Jobs(ids, s.topo.Machine, seeds)
 	if err != nil {
 		return nil, err
 	}

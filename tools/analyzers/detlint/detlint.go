@@ -1,6 +1,6 @@
 // Package detlint enforces the repository's determinism contract in
-// cycle-domain packages (internal/{mem,cpu,exec,smt,sched,pebs}): every
-// simulated run with the same seed must be bit-identical, so those
+// cycle-domain packages (internal/{mem,cpu,exec,smt,sched,pebs,machine}):
+// every simulated run with the same seed must be bit-identical, so those
 // packages must not iterate maps in an order-sensitive way, read wall
 // clocks, or draw from the global (process-seeded) random source.
 //
@@ -41,7 +41,7 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "detlint",
 	Doc: "forbid nondeterminism sources (map iteration, wall clocks, global rand) in cycle-domain packages\n\n" +
-		"Applies to packages under internal/ whose name is one of mem, cpu, exec, smt, sched, pebs, " +
+		"Applies to packages under internal/ whose name is one of mem, cpu, exec, smt, sched, pebs, machine, " +
 		"plus individually listed cycle-adjacent files (internal/bincfg/blockplan.go).",
 	Run: run,
 }
@@ -50,12 +50,13 @@ var Analyzer = &framework.Analyzer{
 // computations feed simulated state. Keep in sync with ARCHITECTURE.md
 // §9 and the determinism test matrix.
 var cycleDomain = map[string]bool{
-	"mem":   true,
-	"cpu":   true,
-	"exec":  true,
-	"smt":   true,
-	"sched": true,
-	"pebs":  true,
+	"mem":     true,
+	"cpu":     true,
+	"exec":    true,
+	"smt":     true,
+	"sched":   true,
+	"pebs":    true,
+	"machine": true,
 }
 
 // cycleAdjacent lists individual files, keyed by package base name under
