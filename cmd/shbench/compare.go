@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// This file implements `shbench -compare old.json new.json`: a
+// benchstat-style delta report between two recorded benchmark
+// trajectories (the BENCH_PR*.json files in the repo root). Each
+// trajectory's "benchmarks" section holds per-benchmark objects whose
+// "current" entry carries numeric metrics, possibly nested (the scaling
+// benchmark records one object per core count); the report flattens
+// those to dotted paths, pairs them across the two files, and prints
+// old, new, and the signed relative delta for every metric present in
+// both. Metrics present on only one side are listed with a dash so a
+// renamed or newly added benchmark is visible rather than silently
+// dropped.
+
+// trajectoryMetrics loads a trajectory file and flattens every
+// benchmark's "current" metrics into dotted keys:
+// "BenchmarkCoreBlock.ns_per_instr", "BenchmarkMachineScaling.cores_4.ns_per_op".
+func trajectoryMetrics(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no \"benchmarks\" section", path)
+	}
+	out := map[string]float64{}
+	for name, msg := range doc.Benchmarks {
+		var entry struct {
+			Current json.RawMessage `json:"current"`
+		}
+		if err := json.Unmarshal(msg, &entry); err != nil {
+			return nil, fmt.Errorf("%s: benchmark %s: %w", path, name, err)
+		}
+		if len(entry.Current) == 0 {
+			continue // "baseline": null style holes are fine; "current" must exist to compare
+		}
+		var tree any
+		if err := json.Unmarshal(entry.Current, &tree); err != nil {
+			return nil, fmt.Errorf("%s: benchmark %s: %w", path, name, err)
+		}
+		flattenMetrics(name, tree, out)
+	}
+	return out, nil
+}
+
+// flattenMetrics walks a decoded JSON value and records every numeric
+// leaf under its dotted path. Strings (notes) and other leaves are
+// ignored: only numbers are comparable.
+func flattenMetrics(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case float64:
+		out[prefix] = t
+	case map[string]any:
+		for k, sub := range t {
+			flattenMetrics(prefix+"."+k, sub, out)
+		}
+	}
+}
+
+// formatDelta renders the signed relative change from old to new.
+func formatDelta(old, new float64) string {
+	if old == new {
+		return "="
+	}
+	if old == 0 {
+		return "new≠0" // no base to take a ratio against
+	}
+	return fmt.Sprintf("%+.2f%%", (new-old)/old*100)
+}
+
+// formatMetric keeps small numbers readable (ns/instr) without
+// exploding large ones (ns/op of whole-machine runs) into exponents.
+func formatMetric(v float64) string {
+	if v != math.Trunc(v) && math.Abs(v) < 1000 {
+		return fmt.Sprintf("%.4g", v)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// runCompare prints the benchstat-style delta table between two
+// trajectory files.
+func runCompare(w io.Writer, oldPath, newPath string) error {
+	oldM, err := trajectoryMetrics(oldPath)
+	if err != nil {
+		return err
+	}
+	newM, err := trajectoryMetrics(newPath)
+	if err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(oldM)+len(newM))
+	seen := map[string]bool{}
+	for k := range oldM {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range newM {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	fmt.Fprintf(w, "trajectory comparison: %s → %s\n\n", oldPath, newPath)
+	fmt.Fprintf(w, "%-52s %14s %14s %10s\n", "benchmark.metric", "old", "new", "delta")
+	for _, k := range keys {
+		o, haveOld := oldM[k]
+		n, haveNew := newM[k]
+		switch {
+		case haveOld && haveNew:
+			fmt.Fprintf(w, "%-52s %14s %14s %10s\n", k, formatMetric(o), formatMetric(n), formatDelta(o, n))
+		case haveOld:
+			fmt.Fprintf(w, "%-52s %14s %14s %10s\n", k, formatMetric(o), "—", "gone")
+		default:
+			fmt.Fprintf(w, "%-52s %14s %14s %10s\n", k, "—", formatMetric(n), "added")
+		}
+	}
+	return nil
+}

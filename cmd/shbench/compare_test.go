@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func writeTrajectory(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldTrajectory = `{
+  "benchmarks": {
+    "BenchmarkCoreStep": {
+      "baseline": null,
+      "current": {"ns_per_op": 26.7, "allocs_per_op": 0, "note": "ignore me"}
+    },
+    "BenchmarkCoreBlock": {
+      "current": {"ns_per_op": 2682, "ns_per_instr": 2.62}
+    },
+    "BenchmarkMachineScaling": {
+      "baseline": null,
+      "current": {"cores_1": {"ns_per_op": 7907723}, "cores_2": {"ns_per_op": 14148975}}
+    },
+    "BenchmarkGone": {
+      "current": {"ns_per_op": 10}
+    }
+  }
+}`
+
+const newTrajectory = `{
+  "benchmarks": {
+    "BenchmarkCoreStep": {
+      "current": {"ns_per_op": 28.0, "allocs_per_op": 0}
+    },
+    "BenchmarkCoreBlock": {
+      "current": {"ns_per_op": 2682, "ns_per_instr": 2.62}
+    },
+    "BenchmarkMachineScaling": {
+      "current": {"cores_1": {"ns_per_op": 7000000}, "cores_2": {"ns_per_op": 14148975}}
+    },
+    "BenchmarkCoreSuperblock": {
+      "current": {"ns_per_instr": 0.76}
+    }
+  }
+}`
+
+func TestCompareMode(t *testing.T) {
+	oldPath := writeTrajectory(t, "old.json", oldTrajectory)
+	newPath := writeTrajectory(t, "new.json", newTrajectory)
+	var out bytes.Buffer
+	if err := runCompare(&out, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	// Deltas: signed percentage on change, "=" on no change, markers for
+	// one-sided metrics.
+	for _, want := range []string{
+		"BenchmarkCoreStep.ns_per_op",
+		"+4.87%",  // 26.7 → 28.0
+		"-11.48%", // scaling cores_1: 7907723 → 7000000
+		"BenchmarkMachineScaling.cores_1.ns_per_op",
+		"BenchmarkGone.ns_per_op",
+		"gone",
+		"BenchmarkCoreSuperblock.ns_per_instr",
+		"added",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+	unchanged := regexp.MustCompile(`BenchmarkCoreBlock\.ns_per_op.*=\n`)
+	if !unchanged.MatchString(got) {
+		t.Errorf("unchanged metric not rendered as '=':\n%s", got)
+	}
+	// allocs 0 → 0 must compare equal, not divide by zero.
+	zeroEq := regexp.MustCompile(`BenchmarkCoreStep\.allocs_per_op.*=\n`)
+	if !zeroEq.MatchString(got) {
+		t.Errorf("0→0 metric not rendered as '=':\n%s", got)
+	}
+	// String leaves (notes) must not appear as metrics.
+	if strings.Contains(got, "note") {
+		t.Errorf("non-numeric leaf leaked into the table:\n%s", got)
+	}
+}
+
+// The mode must run against the real recorded trajectories in the repo
+// root — that is its whole purpose.
+func TestCompareModeAgainstRecordedTrajectories(t *testing.T) {
+	matches, err := filepath.Glob("../../BENCH_PR*.json")
+	if err != nil || len(matches) == 0 {
+		t.Skipf("no recorded trajectories found: %v", err)
+	}
+	var out bytes.Buffer
+	if err := runCompare(&out, matches[0], matches[len(matches)-1]); err != nil {
+		t.Fatalf("compare over recorded trajectories: %v", err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkCoreStep.ns_per_op") {
+		t.Errorf("recorded trajectory comparison missing core step metric:\n%s", out.String())
+	}
+}
+
+func TestCompareModeErrors(t *testing.T) {
+	oldPath := writeTrajectory(t, "old.json", oldTrajectory)
+	// Missing positional argument.
+	if _, _, err := bench(t, options{compare: oldPath}); err == nil {
+		t.Error("compare without a new trajectory accepted, want error")
+	}
+	// Unreadable file.
+	if err := runCompare(&bytes.Buffer{}, oldPath, filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("compare against a missing file accepted, want error")
+	}
+	// Structurally empty trajectory.
+	empty := writeTrajectory(t, "empty.json", `{"benchmarks": {}}`)
+	if err := runCompare(&bytes.Buffer{}, empty, oldPath); err == nil {
+		t.Error("trajectory with no benchmarks accepted, want error")
+	}
+	// Invalid JSON.
+	bad := writeTrajectory(t, "bad.json", `{`)
+	if err := runCompare(&bytes.Buffer{}, bad, oldPath); err == nil {
+		t.Error("invalid JSON accepted, want error")
+	}
+}

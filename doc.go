@@ -62,6 +62,17 @@
 //	snap := s.MetricsSnapshot()            // counters + histograms
 //	_ = s.ExportTrace(f, repro.ChromeTraceOptions{}) // Perfetto-loadable JSON
 //
+// Execution speed comes from a three-tier retire engine: per-instruction
+// stepping, a basic-block fast path, and a superblock trace tier that
+// chains hot blocks across predicted-taken branches (profile-guided when
+// an LBR edge profile exists, static heuristics otherwise). Superblocks
+// are on by default and bit-identical to stepping; WithSuperblocks(false)
+// opts a session out for A/B measurement. Attaching an observer (tracing,
+// PEBS sampling) bypasses both fast tiers automatically — profiled runs
+// always see the full per-instruction event stream:
+//
+//	s, _ = repro.NewSession(repro.WithSuperblocks(false)) // force the block/step tiers
+//
 // Many-core simulation is cut around Topology: each simulated core owns
 // a private L1/L2 and runs on its own goroutine; all cores share a
 // banked LLC + DRAM with bandwidth/MSHR contention; a cycle-quantum

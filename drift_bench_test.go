@@ -1,0 +1,34 @@
+package repro
+
+import "testing"
+
+// hostDriftSink keeps the reference kernel's result live across
+// iterations so the compiler cannot delete the loop.
+var hostDriftSink uint64
+
+// BenchmarkHostDriftReference is the frozen host-speed probe behind the
+// drift-aware rate gate in scripts/bench.sh. It runs a fixed xorshift
+// mixing kernel that touches no simulator code at all, so its ns/op is a
+// pure function of the host — any change between a trajectory recording
+// and a later gate run is machine drift (different container, CPU
+// generation, frequency scaling), never a product regression. The gate
+// divides the measured ns/op by the recorded one and scales the
+// step-rate tolerance band by that ratio.
+//
+// FROZEN: do not change this kernel. Editing it invalidates the
+// recorded reference in every BENCH_PR*.json and turns the drift
+// correction into noise.
+func BenchmarkHostDriftReference(b *testing.B) {
+	x := uint64(0x9E3779B97F4A7C15)
+	var acc uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			acc += x
+		}
+	}
+	hostDriftSink = acc
+}

@@ -49,6 +49,14 @@ type Core struct {
 	// (RunBlock); see block.go. Nil means per-instruction dispatch.
 	plan *BlockPlan
 
+	// Superblock tier (superblock.go): sbEntry[pc] indexes sbs when pc
+	// heads an installed trace, -1 otherwise; nil disables the tier.
+	// sbLineMask caches the hierarchy's line mask for the residency
+	// memos.
+	sbs        []superblock
+	sbEntry    []int32
+	sbLineMask uint64
+
 	observers    []Observer
 	lastBranchAt uint64 // clock of the previous taken transfer (LBR delta base)
 }

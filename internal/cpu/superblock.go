@@ -1,0 +1,594 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/coro"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// This file is the superblock (trace) execution tier above the
+// basic-block engine. A superblock chains hot basic blocks across
+// predicted-taken branches — typically discovered by bincfg from the CFG
+// plus pebs LBR edge counts — into one pre-decoded trace with a
+// specialized retire loop:
+//
+//   - pure-ALU stretches are compiled to micro-ops with pre-extended
+//     immediates, pre-masked shift amounts and pre-masked register
+//     indices, so the retire loop runs with no bounds checks and no
+//     per-instruction operand decoding; homogeneous `addi r, r, imm`
+//     runs get their own switch-free loop;
+//   - per-PC Exec counters are batched: the trace counts completed
+//     traversals and flushes the per-PC increments once on exit, instead
+//     of one read-modify-write per retired instruction;
+//   - memory steps memoize the line they last found L1-resident, keyed
+//     to the hierarchy's residency generation (mem.Hierarchy.Gen, which
+//     advances on every fill, eviction and flush). While the memo holds,
+//     the access takes mem.AccessResident — a self-verifying replay of
+//     the MRU-hit case that skips the full set walk;
+//   - every branch in the trace is a guarded side exit: the branch
+//     executes with full scalar semantics, and if its actual successor
+//     differs from the predicted chain the trace exits to RunBlock's
+//     generic loop at the real target. Mispredictions cost speed, never
+//     correctness.
+//
+// The fallback ladder is literal: a superblock step that cannot proceed
+// (fuel, SMT busy budget, side exit) drops to RunBlock's block dispatch
+// at an exact instruction boundary, and RunBlock itself drops to the
+// per-instruction StepInto loop when observers are attached or no plan
+// is installed. Every stop condition, fault surface, counter and clock
+// movement is byte-identical to the equivalent RunBlock (and therefore
+// StepInto) sequence; internal/cpu/superblock_test.go pins this
+// differentially and FuzzSuperblockVsBlock extends it to arbitrary
+// seeds.
+
+// SuperblockSpec describes one trace to compile: the chained program
+// counters in predicted execution order. Consecutive entries must be
+// connected — pcs[i+1] is pcs[i]+1 for straight-line instructions, and
+// either the fall-through or the branch target for branches (the chain
+// direction *is* the prediction). Loop marks a trace whose final branch
+// is predicted to re-enter the trace head (a loop superblock); a
+// non-loop trace simply exits after its last instruction.
+type SuperblockSpec struct {
+	PCs  []int
+	Loop bool
+}
+
+// Superblock step kinds.
+const (
+	sbALU     uint8 = iota // fused ALU segment, generic micro-op loop
+	sbALUAddI              // homogeneous `addi r, r, imm` segment, pre-aggregated
+	sbMem                  // one load or store
+	sbBranch               // one branch: guarded side exit
+)
+
+// sbAddISelfMin is the shortest homogeneous `addi r, r, imm` run that is
+// split out of a generic ALU segment into the switch-free loop.
+const sbAddISelfMin = 8
+
+// sbUop is one pre-decoded ALU micro-op. Register indices are
+// pre-masked to [0,16) so the retire loop's `&15` proves in-bounds
+// indexing to the compiler; immediates are pre-sign-extended, and shift
+// immediates pre-masked to [0,64).
+type sbUop struct {
+	op           uint8
+	rd, rs1, rs2 uint8
+	imm          uint64
+}
+
+// sbStep is one compiled superblock step. The fields form a tagged
+// union over kind; mem steps additionally carry the mutable residency
+// memo (superblocks are per-core state, like the block plan).
+type sbStep struct {
+	kind uint8
+	op   uint8 // isa.Op: mem (Load/Store) and branch steps
+	rd   uint8 // mem: load destination / store source register
+	rs1  uint8 // mem: base address register
+	pc   int32 // pc of the step's first instruction
+	n    int32 // ALU: instruction count
+	lo   int32 // ALU: micro-op range start in superblock.uops
+	nu   int32 // ALU: micro-op count (< n for aggregated addi segments)
+
+	target   int32 // branch: taken target
+	predNext int32 // branch: successor pc on the predicted path (-1: none)
+	nextStep int32 // branch: step index on the predicted path (-1: exit)
+
+	cost uint64 // ALU: aggregate busy cost; mem/branch: base op cost
+	imm  uint64 // mem: address displacement (two's complement)
+
+	memoLine uint64 // mem: line last observed L1-resident
+	memoGen  uint64 // mem: hierarchy generation of that observation (0 = none)
+}
+
+// superblock is one compiled trace.
+type superblock struct {
+	entry int32
+	steps []sbStep
+	uops  []sbUop
+}
+
+// InstallSuperblocks compiles and installs the given traces, enabling
+// the superblock tier in RunBlock. Specs are validated defensively —
+// connectivity, op admissibility, loop closure — so a buggy deriver
+// surfaces as an install error, never as wrong execution. A later spec
+// with the same entry pc replaces the earlier one. Superblocks compose
+// with (and require, at run time) an installed block plan; observers
+// disable them along with the whole block engine.
+func (c *Core) InstallSuperblocks(specs []SuperblockSpec) error {
+	entry := make([]int32, len(c.instrs))
+	for i := range entry {
+		entry[i] = -1
+	}
+	sbs := make([]superblock, 0, len(specs))
+	for si := range specs {
+		sb, err := c.compileSuperblock(&specs[si])
+		if err != nil {
+			return err
+		}
+		if prev := entry[sb.entry]; prev >= 0 {
+			sbs[prev] = *sb
+			continue
+		}
+		entry[sb.entry] = int32(len(sbs))
+		sbs = append(sbs, *sb)
+	}
+	c.sbs = sbs
+	c.sbEntry = entry
+	c.sbLineMask = c.Hier.LineMask()
+	return nil
+}
+
+// HasSuperblocks reports whether a superblock set is installed.
+func (c *Core) HasSuperblocks() bool { return c.sbEntry != nil }
+
+// ClearSuperblocks removes the superblock set, dropping RunBlock back to
+// plain block dispatch (used by equivalence tests).
+func (c *Core) ClearSuperblocks() {
+	c.sbs = nil
+	c.sbEntry = nil
+}
+
+// sbTraceable reports whether op may appear inside a superblock: pure
+// ALU, loads/stores, and branches. Calls, returns, yields, halts,
+// prefetches, SFI checks and accelerator ops end trace formation — they
+// carry executor-visible or cross-instruction state the specialized
+// loop does not model.
+func sbTraceable(op isa.Op) bool {
+	return fusableALU(op) || op == isa.OpLoad || op == isa.OpStore ||
+		op == isa.OpJmp || op.IsConditional()
+}
+
+// compileSuperblock validates one spec against the program and compiles
+// it into step/micro-op form.
+func (c *Core) compileSuperblock(spec *SuperblockSpec) (*superblock, error) {
+	pcs := spec.PCs
+	if len(pcs) == 0 {
+		return nil, fmt.Errorf("cpu: empty superblock spec")
+	}
+	n := len(c.instrs)
+	for i, pc := range pcs {
+		if pc < 0 || pc >= n {
+			return nil, fmt.Errorf("cpu: superblock pc %d out of range", pc)
+		}
+		in := &c.instrs[pc]
+		if !sbTraceable(in.Op) {
+			return nil, fmt.Errorf("cpu: superblock pc %d: %v is not traceable", pc, in.Op)
+		}
+		branch := in.Op == isa.OpJmp || in.Op.IsConditional()
+		next := -1
+		if i+1 < len(pcs) {
+			next = pcs[i+1]
+		} else if spec.Loop {
+			next = pcs[0]
+		}
+		if next < 0 {
+			continue
+		}
+		switch {
+		case !branch && next != pc+1:
+			return nil, fmt.Errorf("cpu: superblock pcs %d -> %d not connected", pc, next)
+		case branch && next != pc+1 && next != in.Target():
+			return nil, fmt.Errorf("cpu: superblock branch %d -> %d is neither fall-through nor target", pc, next)
+		case in.Op == isa.OpJmp && next != in.Target():
+			return nil, fmt.Errorf("cpu: superblock jmp %d predicted fall-through", pc)
+		}
+	}
+	if spec.Loop {
+		lastOp := c.instrs[pcs[len(pcs)-1]].Op
+		if lastOp != isa.OpJmp && !lastOp.IsConditional() {
+			return nil, fmt.Errorf("cpu: loop superblock must close with a branch, got %v", lastOp)
+		}
+	}
+
+	sb := &superblock{entry: int32(pcs[0])}
+	i := 0
+	for i < len(pcs) {
+		pc := pcs[i]
+		in := &c.instrs[pc]
+		switch {
+		case fusableALU(in.Op):
+			j := i
+			for j < len(pcs) && fusableALU(c.instrs[pcs[j]].Op) {
+				j++
+			}
+			c.compileALURun(sb, pcs[i:j])
+			i = j
+		case in.Op == isa.OpLoad || in.Op == isa.OpStore:
+			st := sbStep{
+				kind: sbMem,
+				op:   uint8(in.Op),
+				rs1:  uint8(in.Rs1) & 15,
+				pc:   int32(pc),
+				cost: c.costs[in.Op],
+				imm:  uint64(in.Imm),
+			}
+			if in.Op == isa.OpLoad {
+				st.rd = uint8(in.Rd) & 15
+			} else {
+				st.rd = uint8(in.Rs2) & 15
+			}
+			sb.steps = append(sb.steps, st)
+			i++
+		default: // branch
+			st := sbStep{
+				kind:     sbBranch,
+				op:       uint8(in.Op),
+				pc:       int32(pc),
+				target:   int32(in.Target()),
+				predNext: -1,
+				nextStep: -1,
+				cost:     c.costs[in.Op],
+			}
+			if i+1 < len(pcs) {
+				st.predNext = int32(pcs[i+1])
+				st.nextStep = int32(len(sb.steps)) + 1
+			} else if spec.Loop {
+				st.predNext = int32(pcs[0])
+				st.nextStep = 0
+			}
+			sb.steps = append(sb.steps, st)
+			i++
+		}
+	}
+	return sb, nil
+}
+
+// compileALURun compiles one maximal fusable stretch (consecutive pcs)
+// into ALU steps, splitting out homogeneous `addi r, r, imm` runs of at
+// least sbAddISelfMin instructions into the switch-free kind.
+func (c *Core) compileALURun(sb *superblock, pcs []int) {
+	selfLen := make([]int, len(pcs)+1)
+	for k := len(pcs) - 1; k >= 0; k-- {
+		in := &c.instrs[pcs[k]]
+		if in.Op == isa.OpAddI && in.Rd == in.Rs1 {
+			selfLen[k] = selfLen[k+1] + 1
+		}
+	}
+	k := 0
+	for k < len(pcs) {
+		kind := sbALU
+		j := k + 1
+		if selfLen[k] >= sbAddISelfMin {
+			kind = sbALUAddI
+			j = k + selfLen[k]
+		} else {
+			for j < len(pcs) && selfLen[j] < sbAddISelfMin {
+				j++
+			}
+		}
+		st := sbStep{kind: kind, pc: int32(pcs[k]), n: int32(j - k), lo: int32(len(sb.uops))}
+		if kind == sbALUAddI {
+			// Strength-reduce the run to per-register deltas: a segment
+			// of `addi r, r, imm` only ever adds immediates into
+			// registers, the segment executes all-or-nothing, and nothing
+			// inside it observes intermediate values — so its whole
+			// architectural effect is at most 16 aggregated additions,
+			// independent of run length. uint64 addition commutes modulo
+			// 2^64, so wrap-around is bit-identical too.
+			var sum [16]uint64
+			var touched [16]bool
+			var order [16]uint8
+			nu := 0
+			for _, pc := range pcs[k:j] {
+				in := &c.instrs[pc]
+				rd := uint8(in.Rd) & 15
+				if !touched[rd] {
+					touched[rd] = true
+					order[nu] = rd
+					nu++
+				}
+				sum[rd] += uint64(in.Imm)
+				st.cost += c.costs[in.Op]
+			}
+			for _, rd := range order[:nu] {
+				sb.uops = append(sb.uops, sbUop{op: uint8(isa.OpAddI), rd: rd, rs1: rd, imm: sum[rd]})
+			}
+			st.nu = int32(nu)
+		} else {
+			for _, pc := range pcs[k:j] {
+				in := &c.instrs[pc]
+				imm := uint64(in.Imm)
+				if in.Op == isa.OpShlI || in.Op == isa.OpShrI {
+					imm &= 63
+				}
+				sb.uops = append(sb.uops, sbUop{
+					op:  uint8(in.Op),
+					rd:  uint8(in.Rd) & 15,
+					rs1: uint8(in.Rs1) & 15,
+					rs2: uint8(in.Rs2) & 15,
+					imm: imm,
+				})
+				st.cost += c.costs[in.Op]
+			}
+			st.nu = st.n
+		}
+		sb.steps = append(sb.steps, st)
+		k = j
+	}
+}
+
+// flushSuperExec applies the batched per-PC Exec increments of one
+// runSuper activation: every step retired `laps` full traversals, plus
+// one more for the first `partial` steps of the unfinished lap. Totals
+// (TotalRetired, TotalBusy, clock) are maintained live during the run —
+// only the per-PC array writes are batched — so this must run before
+// any return to generic dispatch, including faults.
+func (c *Core) flushSuperExec(sb *superblock, laps uint64, partial int) {
+	exec := c.Counters.Exec
+	for k := range sb.steps {
+		st := &sb.steps[k]
+		add := laps
+		if k < partial {
+			add++
+		}
+		if add == 0 {
+			return // laps == 0 and k >= partial: nothing later retired either
+		}
+		if st.kind == sbMem || st.kind == sbBranch {
+			exec[st.pc] += add
+		} else {
+			seg := exec[st.pc : st.pc+st.n]
+			for i := range seg {
+				seg[i] += add
+			}
+		}
+	}
+}
+
+// runSuper executes one superblock activation for RunBlock: it enters at
+// the trace head and retires steps — looping for loop superblocks —
+// until a side exit, fuel or busy-budget expiry, an exposed stall in
+// block mode, or a fault. State is exchanged with RunBlock's locals
+// through pointers; on return pc is always an exact instruction
+// boundary. done=true means RunBlock must stop (res is filled as the
+// generic loop would have); progressed=false means not a single
+// instruction retired, so the caller must fall back to generic dispatch
+// to guarantee forward progress.
+func (c *Core) runSuper(sb *superblock, ctx *coro.Context, block bool, fuel, busyBudget uint64, res *BlockResult, pcp *int, stepsp, busyAccp *uint64) (done, progressed bool, err error) {
+	var (
+		regs     = &ctx.Regs
+		counters = c.Counters
+		absorb   = c.Cfg.PipelineAbsorb
+		steps    = *stepsp
+		busyAcc  = *busyAccp
+		start    = steps
+		laps     uint64
+		si       int
+		stepsA   = sb.steps
+	)
+	leave := func(pc, partial int) {
+		c.flushSuperExec(sb, laps, partial)
+		*pcp = pc
+		*stepsp = steps
+		*busyAccp = busyAcc
+	}
+
+	for {
+		st := &stepsA[si]
+		switch st.kind {
+		case sbALU, sbALUAddI:
+			// Mirrors RunBlock's fused segment: all-or-nothing against
+			// fuel and the busy budget (strict <, so the budget can never
+			// expire mid-segment), bulk accounting afterwards.
+			nn := uint64(st.n)
+			if nn > fuel-steps || (busyBudget != 0 && busyAcc+st.cost >= busyBudget) {
+				leave(int(st.pc), si)
+				return false, steps > start, nil
+			}
+			uops := sb.uops[st.lo : st.lo+st.nu]
+			if st.kind == sbALUAddI {
+				for j := range uops {
+					u := &uops[j]
+					regs[u.rd&15] += u.imm
+				}
+			} else {
+				for j := range uops {
+					u := &uops[j]
+					switch isa.Op(u.op) {
+					case isa.OpNop:
+					case isa.OpMovI:
+						regs[u.rd&15] = u.imm
+					case isa.OpMov:
+						regs[u.rd&15] = regs[u.rs1&15]
+					case isa.OpAdd:
+						regs[u.rd&15] = regs[u.rs1&15] + regs[u.rs2&15]
+					case isa.OpSub:
+						regs[u.rd&15] = regs[u.rs1&15] - regs[u.rs2&15]
+					case isa.OpMul:
+						regs[u.rd&15] = regs[u.rs1&15] * regs[u.rs2&15]
+					case isa.OpDiv:
+						if regs[u.rs2&15] == 0 {
+							regs[u.rd&15] = 0
+						} else {
+							regs[u.rd&15] = regs[u.rs1&15] / regs[u.rs2&15]
+						}
+					case isa.OpAnd:
+						regs[u.rd&15] = regs[u.rs1&15] & regs[u.rs2&15]
+					case isa.OpOr:
+						regs[u.rd&15] = regs[u.rs1&15] | regs[u.rs2&15]
+					case isa.OpXor:
+						regs[u.rd&15] = regs[u.rs1&15] ^ regs[u.rs2&15]
+					case isa.OpShl:
+						regs[u.rd&15] = regs[u.rs1&15] << (regs[u.rs2&15] & 63)
+					case isa.OpShr:
+						regs[u.rd&15] = regs[u.rs1&15] >> (regs[u.rs2&15] & 63)
+					case isa.OpAddI:
+						regs[u.rd&15] = regs[u.rs1&15] + u.imm
+					case isa.OpMulI:
+						regs[u.rd&15] = regs[u.rs1&15] * u.imm
+					case isa.OpAndI:
+						regs[u.rd&15] = regs[u.rs1&15] & u.imm
+					case isa.OpShlI:
+						regs[u.rd&15] = regs[u.rs1&15] << u.imm
+					case isa.OpShrI:
+						regs[u.rd&15] = regs[u.rs1&15] >> u.imm
+					case isa.OpCmp:
+						ctx.Flags = sign(int64(regs[u.rs1&15]), int64(regs[u.rs2&15]))
+					case isa.OpCmpI:
+						ctx.Flags = sign(int64(regs[u.rs1&15]), int64(u.imm))
+					}
+				}
+			}
+			c.Now += st.cost
+			ctx.BusyCycles += st.cost
+			counters.TotalBusy += st.cost
+			counters.TotalRetired += nn
+			ctx.Retired += nn
+			busyAcc += st.cost
+			steps += nn
+			si++
+			if si == len(stepsA) {
+				leave(int(st.pc)+int(st.n), si)
+				return false, true, nil
+			}
+
+		case sbMem:
+			if steps >= fuel {
+				leave(int(st.pc), si)
+				return false, steps > start, nil
+			}
+			pc := int(st.pc)
+			isStore := isa.Op(st.op) == isa.OpStore
+			addr := regs[st.rs1&15] + st.imm
+			var acc mem.AccessResult
+			if st.memoGen == c.Hier.Gen() && addr&c.sbLineMask == st.memoLine {
+				r, ok := c.Hier.AccessResident(addr, c.Now, isStore)
+				if ok {
+					acc = r
+				} else {
+					st.memoGen = 0
+					acc = c.Hier.AccessW(addr, c.Now, isStore)
+				}
+			} else {
+				acc = c.Hier.AccessW(addr, c.Now, isStore)
+				if acc.Level == mem.LevelL1 {
+					// An L1 hit leaves the line MRU at every level: arm
+					// the memo for the next traversal.
+					st.memoLine = addr & c.sbLineMask
+					st.memoGen = c.Hier.Gen()
+				}
+			}
+			busy := st.cost
+			var stall uint64
+			if acc.Latency > absorb {
+				stall = acc.Latency - absorb
+				busy += absorb
+			} else {
+				busy += acc.Latency
+			}
+			if !isStore {
+				v, rerr := c.Mem.Read64(addr)
+				if rerr != nil {
+					leave(pc, si)
+					return false, steps > start, c.fault(ctx.ID, pc, rerr)
+				}
+				regs[st.rd&15] = v
+				counters.Loads[pc]++
+			} else {
+				if werr := c.Mem.Write64(addr, regs[st.rd&15]); werr != nil {
+					leave(pc, si)
+					return false, steps > start, c.fault(ctx.ID, pc, werr)
+				}
+				counters.Stores[pc]++
+			}
+			if acc.MissedL2 {
+				counters.MissL2[pc]++
+			}
+			if acc.Level == mem.LevelDRAM {
+				counters.MissL3[pc]++
+			}
+			c.Now += busy
+			ctx.BusyCycles += busy
+			if stall > 0 && !block {
+				c.Now += stall
+				ctx.StallCycles += stall
+				counters.StallCycles[pc] += stall
+				counters.TotalStall += stall
+			}
+			counters.TotalRetired++
+			counters.TotalBusy += busy
+			ctx.Retired++
+			busyAcc += busy
+			steps++
+			si++
+			if block && stall > 0 {
+				leave(pc+1, si)
+				res.Stall = stall
+				return true, true, nil
+			}
+			if busyBudget != 0 && busyAcc >= busyBudget {
+				leave(pc+1, si)
+				return true, true, nil
+			}
+			if si == len(stepsA) {
+				leave(pc+1, si)
+				return false, true, nil
+			}
+
+		case sbBranch:
+			if steps >= fuel {
+				leave(int(st.pc), si)
+				return false, steps > start, nil
+			}
+			pc := int(st.pc)
+			op := isa.Op(st.op)
+			next := pc + 1
+			taken := false
+			if op == isa.OpJmp || condHolds(op, ctx.Flags) {
+				next = int(st.target)
+				taken = true
+			}
+			busy := st.cost
+			c.Now += busy
+			ctx.BusyCycles += busy
+			counters.TotalRetired++
+			counters.TotalBusy += busy
+			ctx.Retired++
+			busyAcc += busy
+			steps++
+			if taken {
+				c.lastBranchAt = c.Now
+			}
+			predicted := st.nextStep >= 0 && int32(next) == st.predNext
+			if predicted {
+				if st.nextStep == 0 {
+					laps++
+					si = 0
+				} else {
+					si = int(st.nextStep)
+				}
+			} else {
+				si++ // count the branch in the partial lap; exiting below
+			}
+			if busyBudget != 0 && busyAcc >= busyBudget {
+				leave(next, si)
+				return true, true, nil
+			}
+			if !predicted {
+				leave(next, si)
+				return false, true, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzSuperblockVsBlock is the fuzzing face of
+// TestSuperblockVsStepDifferential: any seed must produce byte-identical
+// behaviour between the superblock trace tier and per-instruction
+// StepInto (which the block engine is separately pinned to by
+// FuzzBlockVsStep, making the three-way equivalence transitive). The
+// loop flag wraps the random body in a counted backward branch so the
+// fuzzer exercises loop superblocks — trace re-entry, residency memos
+// across iterations, lap-batched counter flushes — not just one-shot
+// traces. The corpus seeds cover both program shapes and both modes.
+func FuzzSuperblockVsBlock(f *testing.F) {
+	f.Add(int64(1), uint8(20), false, uint8(0), false)
+	f.Add(int64(2), uint8(80), false, uint8(0), true)
+	f.Add(int64(3), uint8(40), true, uint8(4), true)
+	f.Add(int64(4), uint8(90), true, uint8(1), false)
+	f.Add(int64(5), uint8(30), false, uint8(0), true)
+	f.Fuzz(func(t *testing.T, seed int64, size uint8, block bool, budget uint8, loop bool) {
+		n := 5 + int(size)%86 // program length in [5, 90]
+		rng := rand.New(rand.NewSource(seed))
+		var b uint64
+		if block {
+			b = 1 + uint64(budget)%16
+		}
+		if loop {
+			prog := randLoopProgram(rng, n, int64(2+seed%5), 4096)
+			diffSuperProgram(t, "fuzz-loop", prog, rng, block, b)
+		} else {
+			prog := randRunnableProgram(rng, n, 4096)
+			diffSuperProgram(t, "fuzz", prog, rng, block, b)
+		}
+	})
+}

@@ -46,6 +46,14 @@ type Config struct {
 	HWAssistProbeCost uint64
 	// MaxSteps bounds total retired instructions per run (runaway guard).
 	MaxSteps uint64
+	// DisableSuperblocks keeps the superblock trace tier off: New
+	// installs statically derived superblocks (bincfg.SuperblockSpecs)
+	// alongside the block plan unless this is set. The tier is
+	// observation-equivalent to block dispatch, and attached observers
+	// bypass it entirely (profiling sees per-instruction retires either
+	// way), so the knob exists for A/B measurement and differential
+	// tests, not correctness.
+	DisableSuperblocks bool
 	// KeepScavengersAfterPrimary lets scavengers run to completion after
 	// the primary halts (throughput accounting); when false the run ends
 	// at primary halt.
@@ -164,6 +172,11 @@ func New(core *cpu.Core, cfg Config) *Executor {
 		// construction cannot fail; a nil plan would only mean the slow
 		// path, never a wrong answer.
 		_ = bincfg.InstallFastPath(core)
+	}
+	if !cfg.DisableSuperblocks && !core.HasSuperblocks() {
+		// Static BTFN derivation (no profile at construction time); a
+		// failure or empty trace set degrades to block dispatch.
+		_ = bincfg.InstallSuperblocks(core, nil)
 	}
 	return &Executor{Core: core, Cfg: cfg}
 }

@@ -141,6 +141,20 @@ func (c *cache) access(tag uint64, write bool) (hit, wasDirty bool) {
 	set := (tag - 1) & c.setMask
 	base := set * uint64(c.ways)
 	n := uint64(c.used[set])
+	// MRU-way fast path: hit-dominated streams overwhelmingly re-touch
+	// the most-recent line of a set, whose way index is nibble 0 of the
+	// packed order word. One tag compare decides, and a front hit needs
+	// neither the occupied-prefix scan nor a promotion (p == 0 is the
+	// no-op case of the general walk below), so the common hit costs a
+	// couple of loads instead of a scan.
+	if n > 0 {
+		if w := c.order[set] & 0xF; c.tags[base+w] == tag {
+			if write {
+				c.dirty[base+w] = true
+			}
+			return true, false
+		}
+	}
 	occ := c.tags[base : base+n : base+n]
 	// Hit scan covers only the occupied prefix; free ways cannot hit.
 	for i, t := range occ {
@@ -221,6 +235,27 @@ func (c *cache) accessStamp(tag uint64, write bool) (hit, wasDirty bool) {
 	lru[w] = c.stamp
 	c.dirty[base+uint64(w)] = write
 	return false, wasDirty
+}
+
+// mruIndex returns the flat tags/dirty index of tag's way when tag is
+// the most-recently-used line of its set, for the packed-order layout.
+// Read-only: recency, occupancy and dirty state are untouched. ok is
+// false when the stamp fallback is active (ways > 16), the set is
+// empty, or the MRU way holds a different line — callers must then take
+// the full access path.
+func (c *cache) mruIndex(tag uint64) (uint64, bool) {
+	if c.order == nil {
+		return 0, false
+	}
+	set := (tag - 1) & c.setMask
+	if c.used[set] == 0 {
+		return 0, false
+	}
+	idx := set*uint64(c.ways) + (c.order[set] & 0xF)
+	if c.tags[idx] != tag {
+		return 0, false
+	}
+	return idx, true
 }
 
 // touch makes an occupied way the most recent in its set.

@@ -29,6 +29,11 @@ type Config struct {
 	Quantum uint64
 	// MaxSteps bounds total retired instructions (runaway guard).
 	MaxSteps uint64
+	// DisableSuperblocks keeps the superblock trace tier off (see
+	// exec.Config.DisableSuperblocks); superblock exits respect the
+	// quantum budget and stall-block boundaries exactly, so this is an
+	// A/B and differential-testing knob, not a correctness one.
+	DisableSuperblocks bool
 }
 
 // DefaultConfig models 2-way SMT (Intel Hyper-Threading) with a fine
@@ -118,6 +123,9 @@ func NewRunner(core *cpu.Core, cfg Config, ctxs []*coro.Context) (*Runner, error
 		// core construction, so this cannot fail (and a nil plan would
 		// only mean per-instruction dispatch, never a wrong answer).
 		_ = bincfg.InstallFastPath(core)
+	}
+	if !cfg.DisableSuperblocks && !core.HasSuperblocks() {
+		_ = bincfg.InstallSuperblocks(core, nil)
 	}
 	return &Runner{
 		core:         core,

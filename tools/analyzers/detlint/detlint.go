@@ -42,7 +42,7 @@ var Analyzer = &framework.Analyzer{
 	Name: "detlint",
 	Doc: "forbid nondeterminism sources (map iteration, wall clocks, global rand) in cycle-domain packages\n\n" +
 		"Applies to packages under internal/ whose name is one of mem, cpu, exec, smt, sched, pebs, machine, " +
-		"plus individually listed cycle-adjacent files (internal/bincfg/blockplan.go).",
+		"plus individually listed cycle-adjacent files (internal/bincfg/{blockplan,superblock}.go).",
 	Run: run,
 }
 
@@ -64,9 +64,15 @@ var cycleDomain = map[string]bool{
 // that are otherwise exempt. bincfg is an analysis package — dom.go
 // legitimately ranges over maps while building dominator sets — but
 // blockplan.go derives the block-engine run table cpu.RunBlock retires
-// from, so that one file carries the full determinism contract.
+// from, so that one file carries the full determinism contract. The same
+// holds for superblock.go, which derives the trace specs the superblock
+// tier executes — its predicted-path selection must not depend on map
+// iteration order over profile edges.
 var cycleAdjacent = map[string]map[string]bool{
-	"bincfg": {"blockplan.go": true},
+	"bincfg": {
+		"blockplan.go":  true,
+		"superblock.go": true,
+	},
 }
 
 func packageBase(importPath string) (base string, underInternal bool) {

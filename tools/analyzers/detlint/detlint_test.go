@@ -185,16 +185,29 @@ func frontier(doms map[int]int) int {
 	return n
 }
 `
+	const sbSrc = `package bincfg
+
+func heads(profile map[int]uint64) []int {
+	var out []int
+	for pc := range profile { // violation: trace selection feeds the CPU
+		out = append(out, pc)
+	}
+	return out
+}
+`
 	diags := analyzertest.Check(t, "repro/internal/bincfg", map[string]string{
-		"blockplan.go": planSrc,
-		"dom.go":       domSrc,
+		"blockplan.go":  planSrc,
+		"superblock.go": sbSrc,
+		"dom.go":        domSrc,
 	}, deps(), Analyzer)
-	if len(diags) != 1 {
-		t.Fatalf("want exactly 1 diagnostic (blockplan.go only), got %d: %v",
+	if len(diags) != 2 {
+		t.Fatalf("want exactly 2 diagnostics (blockplan.go and superblock.go, not dom.go), got %d: %v",
 			len(diags), analyzertest.Messages(diags))
 	}
-	if !strings.Contains(diags[0].Message, "range over map") {
-		t.Fatalf("want range-over-map diagnostic, got %q", diags[0].Message)
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "range over map") {
+			t.Fatalf("want range-over-map diagnostic, got %q", d.Message)
+		}
 	}
 }
 
