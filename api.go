@@ -1,13 +1,14 @@
 // This file is the flat compatibility surface: type aliases and free
 // functions predating the Session entry point (see session.go) and the
-// Topology-centred machine description (see topology.go). All of it
-// keeps working — existing callers and examples compile unchanged — but
-// new code should start from NewSession + WithTopology, which own the
-// machine description, experiment lookup/run, instrumentation and
-// execution policy in one place. The aliases that name simulator
-// building blocks (Harness, workloads, configs) are not deprecated;
-// deprecated are the free functions Session subsumes and the
-// single-core Machine surface Topology subsumes.
+// Topology-centred machine description (see topology.go). New code
+// should start from NewSession + WithTopology, which own the machine
+// description, experiment lookup/run, instrumentation and execution
+// policy in one place. The aliases that name simulator building blocks
+// (Harness, workloads, configs) are not deprecated; the free functions
+// Session subsumed — DefaultMachine, Experiments, LookupExperiment,
+// ExperimentIDs — have been removed (see the migration table in
+// doc.go); the single-core Machine surface Topology subsumes remains
+// deprecated but working.
 package repro
 
 import (
@@ -45,12 +46,6 @@ type (
 	// TaskSet couples coroutine tasks with host-reference results.
 	TaskSet = experiments.TaskSet
 )
-
-// DefaultMachine returns the reference experiment machine.
-//
-// Deprecated: prefer NewSession, whose default per-core machine this
-// is; use Session.Topology to inspect it or WithTopology to replace it.
-func DefaultMachine() Machine { return experiments.Default() }
 
 // NewHarness composes workload specs over a fresh simulated memory.
 //
@@ -196,32 +191,6 @@ type (
 	// ExperimentRunner produces one experiment result.
 	ExperimentRunner = experiments.Runner
 )
-
-// Experiments returns the registry of all evaluation experiments
-// (Figure 1 and E1–E20), in presentation order.
-//
-// Deprecated: prefer Session.ExperimentIDs with Session.Run /
-// Session.RunAll, which execute on the session's machine with its
-// parallelism and cache policy.
-func Experiments() []struct {
-	ID  string
-	Run ExperimentRunner
-} {
-	return experiments.All()
-}
-
-// LookupExperiment finds an experiment runner by ID (e.g. "F1", "E7").
-//
-// Deprecated: prefer Session.Run, which resolves IDs and reports
-// unknown ones with the full list of valid choices.
-func LookupExperiment(id string) (ExperimentRunner, bool) { return experiments.Lookup(id) }
-
-// ExperimentIDs lists all experiment IDs in order.
-//
-// Deprecated: prefer Session.ExperimentIDs, which keeps experiment
-// discovery next to the session that will run them; this alias
-// delegates to it.
-func ExperimentIDs() []string { return (&Session{}).ExperimentIDs() }
 
 // ---- ISA (internal/isa), for tools that manipulate binaries ----
 

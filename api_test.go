@@ -1,13 +1,14 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 // TestPublicAPIEndToEnd exercises the façade exactly as the README shows.
 func TestPublicAPIEndToEnd(t *testing.T) {
-	h, err := NewHarness(DefaultMachine(),
+	h, err := NewHarness(DefaultTopology(1).Machine,
 		PointerChase{Nodes: 2048, Hops: 500, Instances: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +38,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 }
 
 func TestPublicAPIDualMode(t *testing.T) {
-	h, err := NewHarness(DefaultMachine(),
+	h, err := NewHarness(DefaultTopology(1).Machine,
 		HashJoin{BuildRows: 2048, Buckets: 1024, Probes: 100, MatchFraction: 0.7, Instances: 1},
 		Compute{Iters: 1_000_000, Instances: 2})
 	if err != nil {
@@ -72,15 +73,26 @@ func TestPublicAPIDualMode(t *testing.T) {
 }
 
 func TestExperimentRegistryExposed(t *testing.T) {
-	ids := ExperimentIDs()
-	if len(ids) != len(Experiments()) || len(ids) < 14 {
-		t.Fatalf("registry mismatch: %v", ids)
+	s, err := NewSession()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, ok := LookupExperiment("E7"); !ok {
+	ids := s.ExperimentIDs()
+	if len(ids) < 14 {
+		t.Fatalf("registry short: %v", ids)
+	}
+	found := false
+	for _, id := range ids {
+		if id == "E7" {
+			found = true
+		}
+	}
+	if !found {
 		t.Error("E7 missing")
 	}
-	if _, ok := LookupExperiment("Z9"); ok {
-		t.Error("bogus experiment found")
+	// Unknown IDs fail upfront, before any simulation.
+	if _, err := s.Run(context.Background(), "Z9"); err == nil {
+		t.Error("bogus experiment ran")
 	}
 }
 

@@ -11,6 +11,7 @@ package repro
 // human-readable form.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -19,14 +20,14 @@ import (
 // selected metrics.
 func runExperiment(b *testing.B, id string, report map[string]string) {
 	b.Helper()
-	run, ok := LookupExperiment(id)
-	if !ok {
-		b.Fatalf("experiment %s not registered", id)
+	s, err := NewSession()
+	if err != nil {
+		b.Fatal(err)
 	}
+	ctx := context.Background()
 	var res *ExperimentResult
 	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = run(DefaultMachine())
+		res, err = s.Run(ctx, id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +215,7 @@ func BenchmarkE20SwitchCost(b *testing.B) {
 // instructions per second) on the pointer chase, as a harness sanity
 // metric.
 func BenchmarkCoreSimulator(b *testing.B) {
-	h, err := NewHarness(DefaultMachine(), PointerChase{Nodes: 4096, Hops: 2000, Instances: 1})
+	h, err := NewHarness(DefaultTopology(1).Machine, PointerChase{Nodes: 4096, Hops: 2000, Instances: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -283,8 +284,52 @@ func BenchmarkMachineScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceThroughput measures the open-loop service harness
+// end to end: one Serve cell (event-aware policy, Poisson arrivals at
+// 4 req/µs) serving point-lookup requests over a batch tier. The
+// req/s figure is host throughput of the serving loop — arrivals,
+// admission, dispatch, sojourn recording — and p99_us is the simulated
+// tail, reported so a scheduling regression shows up in the bench log
+// even when raw throughput is unchanged.
+func BenchmarkServiceThroughput(b *testing.B) {
+	cfg := ServiceConfig{
+		Workload: Workload{
+			Request:    PointerChase{Nodes: 512, Hops: 4, Instances: 4},
+			Background: Compute{Iters: 3000, Instances: 2},
+		},
+		Arrivals: ArrivalSpec{Kind: ArrivalPoisson, Rate: 4},
+		Requests: 5000,
+		Workers:  4,
+		Queue:    64,
+		Batch:    2,
+		Policies: []ServicePolicy{PolicyEventAware},
+	}
+	s, err := NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var rep *ServiceReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = s.Serve(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cell := rep.Cell(PolicyEventAware, 4)
+	if cell == nil || cell.Completed != cell.Requests {
+		b.Fatalf("event-aware cell incomplete: %+v", cell)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cell.Completed)*float64(b.N)/sec, "req/s")
+	}
+	b.ReportMetric(cell.P99Micros(), "p99_us")
+}
+
 func BenchmarkCoreSimulatorALU(b *testing.B) {
-	h, err := NewHarness(DefaultMachine(), UnrolledCompute{BlockInstrs: 64, Iters: 2000, Instances: 1})
+	h, err := NewHarness(DefaultTopology(1).Machine, UnrolledCompute{BlockInstrs: 64, Iters: 2000, Instances: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

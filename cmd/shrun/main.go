@@ -17,6 +17,14 @@
 //	shrun -workload hashjoin -image hashjoin.instrumented.img -mode dual -scavengers 4
 //	shrun -workload bst -mode dual -metrics -trace-out bst.trace.json
 //	shrun -workload bst -mode symmetric -n 8 -seeds 5 -parallel 4 -cache
+//
+// With -serve the tool switches to the open-loop service harness:
+// requests arrive on their own simulated clock (Poisson by default) and
+// the policy × offered-load grid renders throughput and p50/p99/p999
+// sojourn tables:
+//
+//	shrun -serve -workload bst -arrivals poisson -rate 0.05,0.1,0.2 \
+//	    -requests 2000 -policy agnostic,event-aware -parallel 4 -cache
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"os"
 	"strings"
 
+	"repro"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/coro"
@@ -46,6 +55,7 @@ import (
 type options struct {
 	wf         cli.WorkloadFlags
 	tf         cli.TopologyFlags
+	sf         cli.ServiceFlags
 	imagePath  string
 	mode       string
 	n          int
@@ -66,6 +76,7 @@ func main() {
 	var o options
 	o.wf.Register(fs)
 	o.tf.Register(fs)
+	o.sf.Register(fs)
 	fs.StringVar(&o.imagePath, "image", "", "instrumented image from shinstr (default: uninstrumented baseline)")
 	fs.StringVar(&o.mode, "mode", "solo", "solo | symmetric | dual")
 	fs.IntVar(&o.n, "n", 1, "coroutines to run (solo/symmetric)")
@@ -144,6 +155,12 @@ func run(w io.Writer, o options) error {
 	if err := o.tf.Check(); err != nil {
 		return err
 	}
+	if err := o.sf.Check(); err != nil {
+		return err
+	}
+	if o.sf.Serve {
+		return runServe(w, o)
+	}
 	if o.tf.Cores > 1 {
 		// Upfront validation: many-core runs rebuild per-core baseline
 		// scenarios and keep observability per core.
@@ -217,6 +234,53 @@ func run(w io.Writer, o options) error {
 	fmt.Fprintf(w, "  retired:    %d instructions, IPC %.2f\n", st.Retired, st.IPC())
 	fmt.Fprintf(w, "  results validated against host reference: ok\n")
 	return ob.finish(w, o, true)
+}
+
+// runServe drives the open-loop service harness: requests built from
+// -workload (one instance = one request, -workers in flight) arrive on
+// their own clock and are served under every -policy at every -rate,
+// through the canonical Session.Serve sweep — cells fan out on the
+// runner's worker pool and are served from the content-addressed cache
+// when -cache is set.
+func runServe(w io.Writer, o options) error {
+	if o.imagePath != "" {
+		return fmt.Errorf("-serve rebuilds the request scenario per cell; drop -image")
+	}
+	if o.tf.Cores > 1 {
+		return fmt.Errorf("-serve is a single-core harness; drop -cores")
+	}
+	if o.seeds > 1 {
+		return fmt.Errorf("-serve sweeps offered load, not seeds; drop -seeds")
+	}
+	if o.metrics || o.traceN > 0 || o.traceOut != "" {
+		return fmt.Errorf("service cells keep private per-cell registries; -metrics/-trace do not combine with -serve")
+	}
+	request, err := cli.SpecByName(o.wf.Workload, o.sf.Workers)
+	if err != nil {
+		return err
+	}
+	cfg, err := o.sf.ServiceConfig(request)
+	if err != nil {
+		return err
+	}
+	opts := []repro.Option{repro.WithSeed(o.wf.Seed), repro.WithParallelism(o.parallel)}
+	if o.cache || o.cacheDir != "" {
+		opts = append(opts, repro.WithCache(o.cacheDir))
+	}
+	s, err := repro.NewSession(opts...)
+	if err != nil {
+		return err
+	}
+	rep, err := s.Serve(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, rep.String())
+	if dir := s.CacheDir(); dir != "" {
+		hits, misses := s.CacheStats()
+		fmt.Fprintf(w, "cache: %d hit(s), %d miss(es) under %s\n", hits, misses, dir)
+	}
+	return nil
 }
 
 // machineMode maps shrun's -mode vocabulary onto the kernel's per-core

@@ -172,3 +172,84 @@ func TestSweepMetricsAndTrace(t *testing.T) {
 		t.Fatalf("sweep -trace-out invalid: %v", err)
 	}
 }
+
+// stripCacheLine drops the trailing "cache: N hit(s), ..." summary,
+// whose counts legitimately differ between a cold and a warm run.
+func stripCacheLine(s string) string {
+	var kept []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "cache: ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestServeRendersTables drives the open-loop harness end to end: the
+// per-policy and cross-policy tables render, and a second run through
+// the cache produces byte-identical tables served entirely from cache.
+func TestServeRendersTables(t *testing.T) {
+	o := defaults()
+	o.wf.Workload = "bst"
+	o.sf = cli.ServiceFlags{
+		Serve:    true,
+		Arrivals: "poisson",
+		Rate:     "0.05,0.1",
+		Requests: 20,
+		Policy:   "sidecar,event-aware",
+		Workers:  2,
+		Queue:    16,
+		Batch:    1,
+		Burst:    8,
+	}
+	o.parallel = 4
+	o.cacheDir = t.TempDir()
+
+	var first bytes.Buffer
+	if err := run(&first, o); err != nil {
+		t.Fatal(err)
+	}
+	s := first.String()
+	for _, want := range []string{"service: sidecar", "service: event-aware", "p99 sojourn", "rate_per_us", "cache: "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("serve output missing %q:\n%s", want, s)
+		}
+	}
+
+	var second bytes.Buffer
+	o.parallel = 1
+	if err := run(&second, o); err != nil {
+		t.Fatal(err)
+	}
+	if stripCacheLine(second.String()) != stripCacheLine(s) {
+		t.Errorf("cached serve rerun diverged:\nfirst:\n%s\nsecond:\n%s", s, second.String())
+	}
+	// 2 policies × 2 rates, all served from the first run's cache.
+	if !strings.Contains(second.String(), "4 hit(s), 0 miss(es)") {
+		t.Errorf("warm rerun did not serve from cache:\n%s", second.String())
+	}
+}
+
+// Service flags without -serve fail upfront, and -serve rejects the
+// closed-loop-only knobs.
+func TestServeFlagChecks(t *testing.T) {
+	o := defaults()
+	o.sf.Rate = "0.5"
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("-rate without -serve accepted")
+	}
+
+	o = defaults()
+	o.sf = cli.ServiceFlags{Serve: true, Arrivals: "poisson", Requests: 10,
+		Policy: "agnostic", Workers: 2, Queue: 8, Batch: 1, Burst: 8}
+	o.seeds = 3
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("-serve with -seeds accepted")
+	}
+	o.seeds = 1
+	o.metrics = true
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("-serve with -metrics accepted")
+	}
+}

@@ -86,18 +86,39 @@
 //	})
 //	// st.Cores[i] per-core, st.Aggregate + st.LLC machine-wide
 //
+// Open-loop service simulation — the datacenter question the paper
+// opens with — is cut around Session.Serve: requests arrive on their
+// own clock (Poisson, uniform or bursty, in requests per simulated µs),
+// pass a bounded admission queue with drop/shed accounting, and are
+// served under a policy × offered-load grid whose per-cell sojourn
+// distributions (p50/p99/p999) render as throughput-vs-tail-latency
+// tables. Serve is the canonical way to measure tail latency; the
+// closed-loop Harness.Tasks + RunSymmetric/RunDualMode surface above is
+// the low-level building block it schedules on:
+//
+//	rep, _ := s.Serve(ctx, repro.ServiceConfig{
+//	    Arrivals: repro.ArrivalSpec{Kind: repro.ArrivalPoisson},
+//	    Rates:    []float64{0.05, 0.1, 0.2}, // offered load sweep
+//	    Policies: []repro.ServicePolicy{repro.PolicyAgnostic, repro.PolicyEventAware},
+//	})
+//	fmt.Print(rep) // per-policy tables + cross-policy p99 comparison
+//
+// (repro.LoadSweep(ctx, cfg, opts...) is the one-call form.) Cells fan
+// out over the session's worker pool and result cache exactly like
+// experiment sweeps, and reports are byte-identical at any GOMAXPROCS.
+//
 // The package-level bench harness (go test -bench .) and cmd/shbench
 // regenerate every table and figure of the evaluation; see DESIGN.md and
-// EXPERIMENTS.md. The flat pre-Session surface (NewHarness,
-// LookupExperiment, ...) and the single-core Machine surface remain as
-// deprecated compatibility layers. Migration:
+// EXPERIMENTS.md. The flat pre-Session surface (NewHarness, ...) and the
+// single-core Machine surface remain as deprecated compatibility
+// layers; the free functions Session subsumed are gone. Migration:
 //
-//	DefaultMachine()        → NewSession(); Session.Topology (inspect) or WithTopology (replace)
+//	DefaultMachine()        → DefaultTopology(1).Machine (removed)
+//	Experiments()           → Session.ExperimentIDs() + Session.RunAll(ctx) (removed)
+//	LookupExperiment(id)    → Session.Run(ctx, id) (removed)
+//	ExperimentIDs()         → Session.ExperimentIDs() (removed)
 //	WithMachine(m)          → WithTopology(Topology{Cores: 1, Machine: m})
 //	Session.Machine()       → Session.Topology().Machine
 //	NewHarness(specs...)    → Session.NewHarness(specs...)
-//	Experiments()           → Session.ExperimentIDs() + Session.RunAll(ctx)
-//	LookupExperiment(id)    → Session.Run(ctx, id)
-//	ExperimentIDs()         → Session.ExperimentIDs()
 //	WithTracer(t)           → WithObservability(ObservabilityConfig{Tracer: t})
 package repro

@@ -1,21 +1,28 @@
-// Latency-sensitive service example: asymmetric concurrency (§3.3).
+// Latency-sensitive service example: open-loop tail latency at offered
+// load (§3.3 applied at datacenter scale).
 //
-// A service core handles one latency-critical request stream (hash-table
-// probes) while batch analytics (pointer-chase scans) want the leftover
-// cycles. Three disciplines:
+// A service core handles a stream of latency-critical requests
+// (hash-table probes) that arrive on their own Poisson clock — the
+// server cannot slow them down — while batch compute wants the leftover
+// cycles. Session.Serve sweeps the serving discipline × offered-load
+// grid and reports the sojourn-time distribution of every cell:
 //
-//   - dedicated: the request runs alone — best latency, terrible CPU
-//     efficiency (the core idles in every miss).
-//   - symmetric: request and batch work are equal coroutines — great
-//     efficiency, but the request queues behind batch slices and its
-//     latency explodes.
-//   - dual-mode: the request is the primary, batch work runs as
-//     scavengers strictly inside its miss shadows — near-dedicated
-//     latency at near-symmetric efficiency. This is the paper's core
-//     asymmetric-concurrency result.
+//   - agnostic: requests and batch work share one blind round-robin —
+//     requests queue behind whole batch slices and the tail explodes.
+//   - os-thread: the same discipline with kernel-priced context
+//     switches — worse still.
+//   - sidecar: one dedicated request lane; batch work is borrowed only
+//     inside the request's miss shadows.
+//   - event-aware: pending requests are co-scheduled into the oldest
+//     request's miss shadows ahead of batch work — the paper's
+//     asymmetric-concurrency result, now visible as a flat p99 curve.
+//
+// Every cell is deterministic: rerunning this program (at any
+// GOMAXPROCS) reproduces the tables byte for byte.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,80 +30,49 @@ import (
 )
 
 func main() {
-	s, err := repro.NewSession()
-	if err != nil {
-		log.Fatal(err)
-	}
-	h, err := s.NewHarness(
-		repro.HashJoin{BuildRows: 8192, Buckets: 4096, Probes: 250, MatchFraction: 0.7, Instances: 1},
-		repro.Compute{Iters: 120000, Instances: 4},
-	)
+	s, err := repro.NewSession(repro.WithParallelism(0)) // fan cells out over GOMAXPROCS
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Profile and instrument once; the same binary serves all disciplines.
-	prof, _, err := h.Profile("hashjoin")
+	cfg := repro.ServiceConfig{
+		Workload: repro.Workload{
+			// One request = one batch of hash-table probes; four may be
+			// in flight at once (one per worker slot).
+			Request: repro.HashJoin{BuildRows: 4096, Buckets: 2048, Probes: 24,
+				MatchFraction: 0.7, Instances: 4},
+			// Batch analytics soak up miss shadows and idle cycles.
+			Background: repro.Compute{Iters: 3000, Instances: 2},
+		},
+		Arrivals: repro.ArrivalSpec{Kind: repro.ArrivalPoisson},
+		Rates:    []float64{0.02, 0.05, 0.1}, // requests per simulated µs
+		Requests: 400,
+		Workers:  4,
+		Queue:    64,
+		Batch:    2,
+		Policies: []repro.ServicePolicy{
+			repro.PolicyAgnostic,
+			repro.PolicyOSThread,
+			repro.PolicySidecar,
+			repro.PolicyEventAware,
+		},
+	}
+
+	rep, err := s.Serve(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	img, err := h.Instrument(prof, repro.DefaultPipelineOptions())
-	if err != nil {
-		log.Fatal(err)
+	fmt.Print(rep)
+
+	// The headline: what the 99th-percentile request pays under each
+	// discipline at the highest offered load.
+	rate := cfg.Rates[len(cfg.Rates)-1]
+	fmt.Printf("at %g req/µs:\n", rate)
+	for _, pol := range cfg.Policies {
+		cell := rep.Cell(pol, rate)
+		fmt.Printf("  %-12s p99 %9.3f µs  (%d/%d completed, %d dropped, %d shed)\n",
+			cell.Policy, cell.P99Micros(), cell.Completed, cell.Requests, cell.Dropped, cell.Shed)
 	}
-
-	fmt.Println("latency-critical hash-join request + 4 batch-compute coroutines")
-	fmt.Printf("%-12s %16s %14s %12s\n", "discipline", "request cycles", "vs dedicated", "efficiency")
-
-	// Dedicated core.
-	ts, err := h.Tasks(h.Baseline(), "hashjoin", repro.Primary, 1)
-	must(err)
-	ded, err := h.NewExecutor(h.Baseline(), repro.ExecConfig{}).RunSolo(ts.Tasks[0])
-	must(err)
-	must(ts.Validate())
-	row("dedicated", ded.Cycles, ded.Cycles, ded.Efficiency())
-
-	// Symmetric sharing.
-	pts, err := h.Tasks(img, "hashjoin", repro.Primary, 1)
-	must(err)
-	bts, err := h.Tasks(img, "compute", repro.Primary, 4)
-	must(err)
-	pts.Merge(bts)
-	sym, err := h.NewExecutor(img, repro.ExecConfig{}).RunSymmetric(pts.Tasks)
-	must(err)
-	must(pts.Validate())
-	row("symmetric", sym.Latencies[0], ded.Cycles, sym.Efficiency())
-
-	// Dual-mode asymmetric concurrency.
-	pts, err = h.Tasks(img, "hashjoin", repro.Primary, 1)
-	must(err)
-	sts, err := h.Tasks(img, "compute", repro.Scavenger, 4)
-	must(err)
-	dual, err := h.NewExecutor(img, repro.ExecConfig{}).RunDualMode(pts.Tasks[0], sts.Tasks)
-	must(err)
-	must(pts.Validate())
-	row("dual-mode", dual.PrimaryLatency, ded.Cycles, dual.Efficiency())
-
-	fmt.Printf("\ndual-mode details: %d miss episodes hidden, avg overshoot %.1f cycles\n",
-		dual.Episodes, float64(dual.PrimaryDelay)/max(1, float64(dual.Episodes)))
-	fmt.Println("the primary got its misses hidden by scavengers that never held the CPU")
-	fmt.Println("longer than the scavenger-phase yield interval allows (§3.3)")
-}
-
-func row(name string, latency, base uint64, eff float64) {
-	fmt.Printf("%-12s %16d %13.2fx %11.1f%%\n",
-		name, latency, float64(latency)/float64(base), eff*100)
-}
-
-func must(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
-}
-
-func max(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
+	fmt.Println("\nevent-aware keeps the tail flat by serving pending requests inside")
+	fmt.Println("the oldest request's miss shadows, ahead of any batch work (§3.3)")
 }

@@ -9,9 +9,12 @@ import (
 	"flag"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/service"
 	"repro/internal/workloads"
 )
 
@@ -108,6 +111,11 @@ var CanonicalFlags = []struct{ Name, Meaning string }{
 	{"llc-banks", "shared-LLC bank count override (power of two; needs -cores > 1)"},
 	{"llc-size", "shared-LLC capacity override in bytes (needs -cores > 1)"},
 	{"quantum", "cycle-quantum length of the many-core kernel (0 = default)"},
+	{"serve", "run the open-loop service harness (arrivals on their own clock)"},
+	{"arrivals", "arrival process: poisson | uniform | bursty (needs -serve)"},
+	{"rate", "offered load sweep in requests/µs, comma-separated (needs -serve)"},
+	{"requests", "requests offered per sweep cell (needs -serve)"},
+	{"policy", "serving policies, comma-separated: agnostic,sidecar,event-aware,os-thread,smt"},
 }
 
 // TopologyFlags is the common many-core flag set: core count plus
@@ -166,6 +174,130 @@ func (tf *TopologyFlags) Topology(mach core.Machine) (machine.Topology, error) {
 		return topo, err
 	}
 	return topo, nil
+}
+
+// ServiceFlags is the open-loop service-harness flag set: tools that
+// can drive a Serve sweep spell these flags identically. The workload
+// flag picks the request program (sized to -workers instances); the
+// background batch tier defaults to the service package's compute
+// filler.
+type ServiceFlags struct {
+	Serve    bool
+	Arrivals string
+	Rate     string
+	Requests int
+	Policy   string
+	Workers  int
+	Queue    int
+	Shed     uint64
+	Batch    int
+	Burst    float64
+}
+
+// serviceDefaults mirrors Register's defaults so Check can tell an
+// untouched flag set from a misused one.
+var serviceDefaults = ServiceFlags{
+	Arrivals: "poisson",
+	Policy:   "agnostic,sidecar,event-aware,os-thread",
+	Requests: 2000,
+	Workers:  4,
+	Queue:    64,
+	Batch:    2,
+	Burst:    8,
+}
+
+// Register installs the service flags into fs.
+func (sf *ServiceFlags) Register(fs *flag.FlagSet) {
+	d := serviceDefaults
+	fs.BoolVar(&sf.Serve, "serve", false, "run the open-loop service harness (arrivals on their own clock)")
+	fs.StringVar(&sf.Arrivals, "arrivals", d.Arrivals, "arrival process: poisson | uniform | bursty")
+	fs.StringVar(&sf.Rate, "rate", "", "offered load sweep in requests/µs, comma-separated (default 0.05,0.1,0.2)")
+	fs.IntVar(&sf.Requests, "requests", d.Requests, "requests offered per sweep cell")
+	fs.StringVar(&sf.Policy, "policy", d.Policy, "serving policies, comma-separated")
+	fs.IntVar(&sf.Workers, "workers", d.Workers, "concurrent in-flight request slots")
+	fs.IntVar(&sf.Queue, "queue", d.Queue, "admission-queue capacity (arrivals beyond it drop)")
+	fs.Uint64Var(&sf.Shed, "shed", d.Shed, "shed requests older than this many cycles at dispatch (0 = never)")
+	fs.IntVar(&sf.Batch, "batch", d.Batch, "background batch tasks soaking up miss shadows and idle cycles")
+	fs.Float64Var(&sf.Burst, "burst", d.Burst, "mean burst size for -arrivals bursty")
+}
+
+// Check validates the service flags upfront: with -serve, every value
+// must parse; without it, touching a service knob is an error rather
+// than a silent no-op.
+func (sf *ServiceFlags) Check() error {
+	if !sf.Serve {
+		// Both the registered defaults and the zero value (programmatic
+		// callers that never touch the service surface) are "untouched".
+		if *sf != serviceDefaults && *sf != (ServiceFlags{}) {
+			return fmt.Errorf("-arrivals/-rate/-requests/-policy/-workers/-queue/-shed/-batch/-burst tune the service harness, which needs -serve")
+		}
+		return nil
+	}
+	if _, err := service.ParseKind(sf.Arrivals); err != nil {
+		return err
+	}
+	if _, err := service.ParsePolicies(sf.Policy); err != nil {
+		return err
+	}
+	if _, err := sf.rates(); err != nil {
+		return err
+	}
+	if sf.Requests < 1 {
+		return fmt.Errorf("-requests must be ≥ 1 (got %d)", sf.Requests)
+	}
+	return nil
+}
+
+// rates parses the -rate list.
+func (sf *ServiceFlags) rates() ([]float64, error) {
+	if sf.Rate == "" {
+		return nil, nil // service.Config defaults apply
+	}
+	var out []float64
+	for _, s := range strings.Split(sf.Rate, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-rate: %q is not a number", s)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ServiceConfig assembles the serve-sweep configuration described by
+// the flags around the given request workload (typically built from the
+// -workload flag with Instances = sf.Workers). The background batch
+// tier is left to the service package's default compute filler.
+func (sf *ServiceFlags) ServiceConfig(request workloads.Spec) (service.Config, error) {
+	if err := sf.Check(); err != nil {
+		return service.Config{}, err
+	}
+	kind, err := service.ParseKind(sf.Arrivals)
+	if err != nil {
+		return service.Config{}, err
+	}
+	pols, err := service.ParsePolicies(sf.Policy)
+	if err != nil {
+		return service.Config{}, err
+	}
+	rates, err := sf.rates()
+	if err != nil {
+		return service.Config{}, err
+	}
+	if len(rates) == 0 {
+		rates = service.DefaultConfig().Rates
+	}
+	return service.Config{
+		Workload:  service.Workload{Request: request},
+		Arrivals:  service.ArrivalSpec{Kind: kind, Rate: rates[0], Burst: sf.Burst},
+		Rates:     rates,
+		Requests:  sf.Requests,
+		Workers:   sf.Workers,
+		Queue:     sf.Queue,
+		ShedAfter: sf.Shed,
+		Batch:     sf.Batch,
+		Policies:  pols,
+	}, nil
 }
 
 // InstallUsage wraps fs.Usage so that help output — including the

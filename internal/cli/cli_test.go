@@ -3,10 +3,11 @@ package cli
 import (
 	"bytes"
 	"flag"
-
-	"repro/internal/core"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/service"
 )
 
 func TestSpecByName(t *testing.T) {
@@ -139,6 +140,93 @@ func TestTopologyFlagsAreCanonical(t *testing.T) {
 		canon[f.Name] = true
 	}
 	for _, name := range []string{"cores", "llc-banks", "llc-size", "quantum"} {
+		if !canon[name] {
+			t.Errorf("flag -%s missing from CanonicalFlags", name)
+		}
+	}
+}
+
+func TestServiceFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var sf ServiceFlags
+	sf.Register(fs)
+	args := []string{"-serve", "-arrivals", "bursty", "-rate", "0.1, 0.25", "-requests", "500",
+		"-policy", "agnostic,smt", "-workers", "2", "-queue", "16", "-shed", "9000", "-batch", "1", "-burst", "4"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Check(); err != nil {
+		t.Fatal(err)
+	}
+	req, err := SpecByName("bst", sf.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sf.ServiceConfig(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Arrivals.Kind != service.Bursty || cfg.Arrivals.Burst != 4 {
+		t.Errorf("arrival spec lost: %+v", cfg.Arrivals)
+	}
+	if len(cfg.Rates) != 2 || cfg.Rates[0] != 0.1 || cfg.Rates[1] != 0.25 {
+		t.Errorf("rates lost: %v", cfg.Rates)
+	}
+	if cfg.Requests != 500 || cfg.Workers != 2 || cfg.Queue != 16 || cfg.ShedAfter != 9000 || cfg.Batch != 1 {
+		t.Errorf("admission knobs lost: %+v", cfg)
+	}
+	if len(cfg.Policies) != 2 || cfg.Policies[0] != service.Agnostic || cfg.Policies[1] != service.SMT {
+		t.Errorf("policies lost: %v", cfg.Policies)
+	}
+	if _, err := cfg.Normalized(); err != nil {
+		t.Errorf("flag-built config does not normalize: %v", err)
+	}
+}
+
+// Service knobs without -serve are a hard error, not a silent no-op —
+// but both the registered defaults and the zero value pass.
+func TestServiceFlagsNeedServe(t *testing.T) {
+	var zero ServiceFlags
+	if err := zero.Check(); err != nil {
+		t.Errorf("zero value rejected: %v", err)
+	}
+	def := serviceDefaults
+	if err := def.Check(); err != nil {
+		t.Errorf("registered defaults rejected: %v", err)
+	}
+	touched := serviceDefaults
+	touched.Rate = "0.5"
+	if err := touched.Check(); err == nil {
+		t.Error("-rate without -serve accepted")
+	}
+
+	bad := serviceDefaults
+	bad.Serve = true
+	bad.Arrivals = "nope"
+	if err := bad.Check(); err == nil {
+		t.Error("unknown arrival kind accepted")
+	}
+	bad = serviceDefaults
+	bad.Serve = true
+	bad.Rate = "fast"
+	if err := bad.Check(); err == nil {
+		t.Error("non-numeric rate accepted")
+	}
+	bad = serviceDefaults
+	bad.Serve = true
+	bad.Policy = "bogus"
+	if err := bad.Check(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// Every service flag is part of the canonical cross-tool vocabulary.
+func TestServiceFlagsAreCanonical(t *testing.T) {
+	canon := map[string]bool{}
+	for _, f := range CanonicalFlags {
+		canon[f.Name] = true
+	}
+	for _, name := range []string{"serve", "arrivals", "rate", "requests", "policy"} {
 		if !canon[name] {
 			t.Errorf("flag -%s missing from CanonicalFlags", name)
 		}

@@ -94,6 +94,17 @@ func NewTask(ctx *coro.Context, mode coro.Mode) *Task {
 	return &Task{Ctx: ctx, Mode: mode}
 }
 
+// Reset discards any pending switched-out register save, so the task's
+// context can be re-armed for fresh work (the open-loop service harness
+// re-points a bounded pool of tasks at millions of requests). A task
+// that ran to halt has no pending save — the executor only saves at
+// yields — so this is defensive bookkeeping, but it makes re-arming
+// correct even for a task abandoned mid-run.
+func (t *Task) Reset() {
+	t.saved = coro.Saved{}
+	t.hasSaved = false
+}
+
 // Stats summarizes one run.
 type Stats struct {
 	// Cycles is the wall-clock duration of the run.
@@ -204,6 +215,17 @@ func (e *Executor) resume(t *Task) {
 	}
 	e.emit(trace.Resume, t, 0)
 }
+
+// SwitchOut is the exported form of switchFrom for external scheduling
+// disciplines (internal/service's open-loop engines): it enacts a
+// context switch away from t at a yield with the given live mask,
+// saving the live set, charging the switch cost and marking the task
+// for poisoned restore.
+func (e *Executor) SwitchOut(t *Task, mask isa.RegMask) { e.switchFrom(t, mask) }
+
+// Resume is the exported form of resume: it reinstates a previously
+// switched-out task, poisoning registers outside its saved mask.
+func (e *Executor) Resume(t *Task) { e.resume(t) }
 
 // emit sends a trace event if tracing is enabled.
 func (e *Executor) emit(kind trace.Kind, t *Task, arg uint64) {

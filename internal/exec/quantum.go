@@ -89,6 +89,13 @@ func (t *Ticker) Run(deadline uint64) (bool, error) {
 		case t.r.Halted:
 			if !t.solo {
 				t.latencies[t.cur] = e.Core.Now - t.start
+				// Mirror what internal/sched records at the end of a
+				// classic single-core run, so many-core service runs
+				// report request latencies too.
+				if m := e.Cfg.Metrics; m != nil {
+					m.Sched.Requests++
+					m.Sched.RequestLatency.Observe(e.Core.Now - t.start)
+				}
 			}
 			t.running--
 			if t.running == 0 {

@@ -169,6 +169,9 @@ func New(topo Topology, rc RunConfig) (*Machine, error) {
 			if smtCfg.Contexts == 0 {
 				smtCfg.Contexts = len(ctxs)
 			}
+			if smtCfg.Metrics == nil {
+				smtCfg.Metrics = c.reg
+			}
 			rn, err := smt.NewRunner(cpuCore, smtCfg, ctxs)
 			if err != nil {
 				return nil, fmt.Errorf("machine: core %d: %w", i, err)

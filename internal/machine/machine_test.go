@@ -191,3 +191,33 @@ func TestMultiCoreRuns(t *testing.T) {
 		t.Errorf("seed stride broken: %d vs %d", st.Cores[1].Seed, st.Cores[0].Seed)
 	}
 }
+
+// Per-core registries must record request completion latencies under
+// the resumable engines — exec.Ticker for the coroutine modes and
+// smt.Runner for ModeSMT — so many-core service runs report latencies
+// exactly like the classic single-core paths do.
+func TestManyCoreRequestLatencyMetrics(t *testing.T) {
+	for _, mode := range []Mode{ModeSymmetric, ModeSMT} {
+		m, err := New(testTopo(2), RunConfig{Spec: chaseSpec(), Mode: mode, Metrics: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		for i, cs := range st.Cores {
+			want := uint64(4) // chaseSpec instances per core
+			if cs.Metrics.Sched.Requests != want {
+				t.Errorf("mode %v core %d: Sched.Requests = %d, want %d", mode, i, cs.Metrics.Sched.Requests, want)
+			}
+			if cs.Metrics.Sched.RequestLatency.Count != want {
+				t.Errorf("mode %v core %d: latency histogram has %d observations, want %d",
+					mode, i, cs.Metrics.Sched.RequestLatency.Count, want)
+			}
+			if cs.Metrics.Sched.RequestLatency.Max == 0 {
+				t.Errorf("mode %v core %d: zero max latency", mode, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestFineHistBuckets(t *testing.T) {
+	var h FineHist
+	cases := []uint64{0, 1, 15, 16, 17, 31, 32, 100, 255, 256, 1000, 1 << 20, 1<<20 + 1<<16, 1 << 62, ^uint64(0)}
+	for _, v := range cases {
+		h.Observe(v)
+		i := fineIndex(v)
+		if h.Buckets[i] == 0 {
+			t.Errorf("Observe(%d) did not land in bucket %d", v, i)
+		}
+		lo, hi := FineBucketBounds(i)
+		// The last bucket's hi saturates at the maximal uint64, mirroring
+		// Hist's convention; the hi check does not apply there.
+		if v < lo || (i < NumFineBuckets-1 && v >= hi) {
+			t.Errorf("bucket %d bounds [%d,%d) exclude its own value %d", i, lo, hi, v)
+		}
+	}
+	if h.Count != uint64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count, len(cases))
+	}
+	var sum uint64
+	for _, b := range h.Buckets {
+		sum += b
+	}
+	if sum != h.Count {
+		t.Errorf("bucket sum %d != Count %d", sum, h.Count)
+	}
+	if h.Min != 0 || h.Max != ^uint64(0) {
+		t.Errorf("Min/Max = %d/%d", h.Min, h.Max)
+	}
+}
+
+// TestFineHistBoundsContiguous proves the bucket ranges tile the uint64
+// line with no gaps or overlaps: every bucket's hi is the next one's lo.
+func TestFineHistBoundsContiguous(t *testing.T) {
+	for i := 0; i < NumFineBuckets-1; i++ {
+		_, hi := FineBucketBounds(i)
+		lo, _ := FineBucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("bucket %d ends at %d but bucket %d starts at %d", i, hi, i+1, lo)
+		}
+	}
+	if lo, _ := FineBucketBounds(0); lo != 0 {
+		t.Error("first bucket does not start at 0")
+	}
+}
+
+// TestFineHistResolution pins the headline property: above 16, bucket
+// width is at most lo/16, i.e. a quantile read off the histogram is
+// within ~6% of the true value.
+func TestFineHistResolution(t *testing.T) {
+	for i := 16; i < NumFineBuckets-1; i++ {
+		lo, hi := FineBucketBounds(i)
+		if width := hi - lo; width*16 > lo {
+			t.Fatalf("bucket %d [%d,%d) width %d exceeds lo/16", i, lo, hi, width)
+		}
+	}
+}
+
+func TestFineHistQuantile(t *testing.T) {
+	var h FineHist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty FineHist should report 0")
+	}
+	// Exact below 16.
+	for i := 0; i < 100; i++ {
+		h.Observe(7)
+	}
+	if q := h.Quantile(0.999); q != 8 {
+		t.Errorf("Quantile over constant 7 = %d, want upper bound 8", q)
+	}
+	h.Reset()
+	// 9989 fast observations, 11 slow outliers: p99 stays fast, p999
+	// resolves the outliers to ~6%.
+	for i := 0; i < 9989; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 11; i++ {
+		h.Observe(100_000)
+	}
+	if q := h.Quantile(0.99); q < 1000 || q > 1063 {
+		t.Errorf("p99 = %d, want within a bucket of 1000", q)
+	}
+	q := h.Quantile(0.999)
+	// fineIndex is exact for the observation's own bucket; the bound is
+	// clipped to Max+1 so it can never exceed the largest observation.
+	if q < 100_000 || q > 100_001 {
+		t.Errorf("p999 = %d, want (100000, 100001]", q)
+	}
+	if bits.Len64(q)-bits.Len64(100_000) > 1 {
+		t.Errorf("p999 lost the magnitude: %d", q)
+	}
+}
+
+func TestFineHistAllocFree(t *testing.T) {
+	var h FineHist
+	allocs := testing.AllocsPerRun(200, func() {
+		h.Observe(123456)
+		_ = h.Quantile(0.999)
+	})
+	if allocs != 0 {
+		t.Errorf("FineHist path allocated %.1f times per run, want 0", allocs)
+	}
+}

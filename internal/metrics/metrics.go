@@ -112,6 +112,23 @@ type Sched struct {
 	RequestLatency Hist
 }
 
+// Service holds the open-loop service-harness accounting bumped by
+// internal/service per request lifecycle event (arrival → admit →
+// dispatch → retire). The conservation invariant the tests pin:
+// Arrivals = Admitted + Dropped, and Admitted = Completed + Shed once
+// a run drains.
+type Service struct {
+	Arrivals  uint64 // requests generated by the arrival process
+	Admitted  uint64 // requests accepted into the bounded queue
+	Dropped   uint64 // requests rejected at a full queue (load shedding at the door)
+	Shed      uint64 // admitted requests abandoned at dispatch (exceeded ShedAfter)
+	Completed uint64 // requests served and validated
+	BatchOps  uint64 // background batch-task completions (the scavenger tier)
+	// Sojourn distributes request sojourn times (arrival to retire) in
+	// cycles with ~6% resolution — fine enough for p999 claims.
+	Sojourn FineHist
+}
+
 // Sampler aggregates profiling-overhead counters, filled from the PEBS
 // sampler by (*pebs.Sampler).FillMetrics.
 type Sampler struct {
@@ -149,6 +166,7 @@ type Registry struct {
 	CPU     CPU
 	Exec    Exec
 	Sched   Sched
+	Service Service
 	Sampler Sampler
 	Machine Machine
 }
@@ -163,13 +181,14 @@ type Snapshot struct {
 	CPU     CPU
 	Exec    Exec
 	Sched   Sched
+	Service Service
 	Sampler Sampler
 	Machine Machine
 }
 
 // Snapshot copies the registry's current state.
 func (r *Registry) Snapshot() Snapshot {
-	return Snapshot{Mem: r.Mem, CPU: r.CPU, Exec: r.Exec, Sched: r.Sched, Sampler: r.Sampler, Machine: r.Machine}
+	return Snapshot{Mem: r.Mem, CPU: r.CPU, Exec: r.Exec, Sched: r.Sched, Service: r.Service, Sampler: r.Sampler, Machine: r.Machine}
 }
 
 // Table renders the snapshot as a stats.Table (domain, metric, value
@@ -210,6 +229,13 @@ func (s Snapshot) Table() *stats.Table {
 	row("sched", "requests", s.Sched.Requests)
 	row("sched", "batch_tasks", s.Sched.BatchTasks)
 	histRows(t, "sched", "request_latency", &s.Sched.RequestLatency)
+	row("service", "arrivals", s.Service.Arrivals)
+	row("service", "admitted", s.Service.Admitted)
+	row("service", "dropped", s.Service.Dropped)
+	row("service", "shed", s.Service.Shed)
+	row("service", "completed", s.Service.Completed)
+	row("service", "batch_ops", s.Service.BatchOps)
+	fineHistRows(t, "service", "sojourn", &s.Service.Sojourn)
 	row("sampler", "samples", s.Sampler.Samples)
 	row("sampler", "dropped", s.Sampler.Dropped)
 	row("sampler", "branches", s.Sampler.Branches)
@@ -243,6 +269,27 @@ func histRows(t *stats.Table, domain, name string, h *Hist) {
 			continue
 		}
 		lo, hi := BucketBounds(i)
+		t.Row(domain, bucketLabel(name, lo, hi), h.Buckets[i])
+	}
+}
+
+// fineHistRows is histRows for a FineHist: total, mean, tail bounds
+// (including p999, which the fine buckets resolve to ~6%), then each
+// non-empty bucket.
+func fineHistRows(t *stats.Table, domain, name string, h *FineHist) {
+	t.Row(domain, name+"_total", h.Count)
+	if h.Count == 0 {
+		return
+	}
+	t.Row(domain, name+"_mean", h.Mean())
+	t.Row(domain, name+"_p50_le", h.Quantile(0.50))
+	t.Row(domain, name+"_p99_le", h.Quantile(0.99))
+	t.Row(domain, name+"_p999_le", h.Quantile(0.999))
+	for i := 0; i < NumFineBuckets; i++ {
+		if h.Buckets[i] == 0 {
+			continue
+		}
+		lo, hi := FineBucketBounds(i)
 		t.Row(domain, bucketLabel(name, lo, hi), h.Buckets[i])
 	}
 }
@@ -300,6 +347,16 @@ func (s Snapshot) Metrics(dst map[string]float64) {
 	put("sched.requests", s.Sched.Requests)
 	put("sched.batch_tasks", s.Sched.BatchTasks)
 	dst["obs.sched.request_latency_mean"] = s.Sched.RequestLatency.Mean()
+	put("service.arrivals", s.Service.Arrivals)
+	put("service.admitted", s.Service.Admitted)
+	put("service.dropped", s.Service.Dropped)
+	put("service.shed", s.Service.Shed)
+	put("service.completed", s.Service.Completed)
+	put("service.batch_ops", s.Service.BatchOps)
+	dst["obs.service.sojourn_mean"] = s.Service.Sojourn.Mean()
+	dst["obs.service.sojourn_p50_le"] = float64(s.Service.Sojourn.Quantile(0.50))
+	dst["obs.service.sojourn_p99_le"] = float64(s.Service.Sojourn.Quantile(0.99))
+	dst["obs.service.sojourn_p999_le"] = float64(s.Service.Sojourn.Quantile(0.999))
 	put("sampler.samples", s.Sampler.Samples)
 	put("sampler.dropped", s.Sampler.Dropped)
 	put("sampler.branches", s.Sampler.Branches)

@@ -15,9 +15,11 @@ import (
 // cacheSchema versions the on-disk entry format. Bump it whenever the
 // serialized Result shape or the simulator's observable behaviour
 // changes, so stale entries miss instead of lying. Schema 2: the key
-// preimage gained the job's machine topology (many-core runs), so every
-// pre-topology entry deliberately misses.
-const cacheSchema = 2
+// preimage gained the job's machine topology (many-core runs). Schema
+// 3: the preimage gained the job's service-sweep configuration and the
+// resumable many-core engines started recording request latencies, so
+// every pre-service entry deliberately misses.
+const cacheSchema = 3
 
 // Cache is a content-addressed store of experiment results keyed by
 // (schema, experiment ID, machine). Entries are immutable JSON files
@@ -56,16 +58,17 @@ func (c *Cache) Misses() uint64 { return c.misses.Load() }
 
 // Key derives the content address of a job: a SHA-256 over the schema
 // version, the experiment ID, the complete machine description (which
-// embeds the seed) and — for many-core jobs — the full topology. Two
-// jobs share a key exactly when the simulator would be handed identical
-// inputs.
+// embeds the seed), for many-core jobs the full topology, and for
+// service-sweep jobs the full serve configuration. Two jobs share a key
+// exactly when the simulator would be handed identical inputs.
 func (c *Cache) Key(j Job) (string, error) {
 	payload, err := json.Marshal(struct {
-		Schema int
-		ID     string
-		Mach   interface{}
-		Topo   interface{} `json:",omitempty"`
-	}{cacheSchema, j.ID, j.Mach, j.Topo})
+		Schema  int
+		ID      string
+		Mach    interface{}
+		Topo    interface{} `json:",omitempty"`
+		Service interface{} `json:",omitempty"`
+	}{cacheSchema, j.ID, j.Mach, j.Topo, j.Service})
 	if err != nil {
 		return "", err
 	}

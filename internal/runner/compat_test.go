@@ -19,9 +19,13 @@ import (
 // simulator's observable behaviour changed and cacheSchema should have
 // been bumped.
 //
-// History: the fixture was regenerated at schema 2, when the key
-// preimage gained the job topology (many-core machines); schema-1
-// entries deliberately miss (see TestCacheSchemaBump).
+// History: the fixture was regenerated at schema 3, when the key
+// preimage gained the job's service-sweep configuration and the
+// resumable engines started recording request latencies; it was
+// previously regenerated at schema 2, when the preimage gained the job
+// topology (many-core machines). Entries from prior schemas
+// deliberately miss (see TestCacheSchemaBump and
+// TestCacheSchema2EntriesMiss).
 //
 // Regenerate deliberately with:
 //

@@ -42,6 +42,13 @@ type Job struct {
 	// it is part of the cache key, so single-core (nil) and topology
 	// jobs never collide. Classic registry experiments leave it nil.
 	Topo *machine.Topology
+	// Service, when non-nil, is the open-loop service-sweep
+	// configuration the job runs (a JSON-serializable value; the repro
+	// package passes the full cell description). Like Topo it is part
+	// of the cache key, so two serve cells collide exactly when their
+	// configurations are identical. Declared as any to keep the runner
+	// decoupled from the service package.
+	Service any
 	// Run produces the result. When nil, the ID is resolved through the
 	// experiment registry at execution time.
 	Run experiments.Runner

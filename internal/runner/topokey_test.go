@@ -28,7 +28,28 @@ func TestCacheSchemaBump(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, ok := c.Get(j); ok {
-		t.Fatal("schema-1 entry served under schema 2")
+		t.Fatal("schema-1 entry served under the current schema")
+	}
+}
+
+// A schema-2 entry (pre-service key preimage) must likewise miss under
+// schema 3, even when it sits at the current key's path.
+func TestCacheSchema2EntriesMiss(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := Job{ID: "E1", Mach: core.DefaultMachine(), Cacheable: true}
+	key, err := c.Key(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, _ := json.Marshal(entry{Schema: 2, ID: j.ID, Result: &experiments.Result{ID: j.ID}})
+	if err := os.WriteFile(c.path(key), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(j); ok {
+		t.Fatal("schema-2 entry served under schema 3")
 	}
 }
 
@@ -67,5 +88,53 @@ func TestCacheKeyIncludesTopology(t *testing.T) {
 	kb, _ := c.Key(Job{ID: base.ID, Mach: base.Mach, Topo: &topo8b})
 	if ka != kb {
 		t.Error("identical topologies hash to different keys")
+	}
+}
+
+// Service participates in the key: two serve jobs that differ only in
+// their service configuration are distinct cells, identical
+// configurations collide, and a nil Service marshals away (omitempty)
+// so non-serve jobs keep their schema-stable keys.
+func TestCacheKeyIncludesService(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type svc struct {
+		Policy string
+		Rate   float64
+	}
+	base := Job{ID: "serve/agnostic/rate=0.2", Mach: core.DefaultMachine(), Cacheable: true}
+	withA := base
+	withA.Service = svc{Policy: "agnostic", Rate: 0.2}
+	withB := base
+	withB.Service = svc{Policy: "agnostic", Rate: 0.4}
+	withA2 := base
+	withA2.Service = svc{Policy: "agnostic", Rate: 0.2}
+
+	kNil, err := c.Key(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA, err := c.Key(withA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kB, err := c.Key(withB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA2, err := c.Key(withA2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kA == kNil || kB == kNil {
+		t.Error("service configuration did not change the cache key")
+	}
+	if kA == kB {
+		t.Error("distinct service configurations share a cache key")
+	}
+	if kA != kA2 {
+		t.Error("identical service configurations hash to different keys")
 	}
 }

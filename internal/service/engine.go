@@ -1,0 +1,736 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/cpu"
+	"repro/internal/exec"
+	"repro/internal/instrument"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/smt"
+	"repro/internal/workloads"
+)
+
+// slot is one worker: a bounded execution context re-armed for request
+// after request, so a million-request run needs only Workers contexts.
+type slot struct {
+	task  *exec.Task
+	stack uint64 // this slot's private stack top
+
+	busy       bool
+	id         uint64 // request id (selects the instance)
+	arrival    uint64 // cycle the request arrived (sojourn base)
+	dispatched uint64 // cycle the request took the slot
+	expected   uint64 // host-reference result for validation
+}
+
+// batchTask is one background task: re-armed with the next instance at
+// every halt, so batch work never runs out.
+type batchTask struct {
+	task  *exec.Task
+	stack uint64
+	inst  int // instance currently armed
+}
+
+// cell is one (policy, rate) point of the sweep: a pure single-threaded
+// simulation over its own harness, executor and metrics registry.
+type cell struct {
+	cfg  Config
+	pol  Policy
+	rate float64
+
+	h  *core.Harness
+	ex *exec.Executor
+
+	// reg is held by value: a serving cell always records (the sojourn
+	// histogram IS the output), so the registry is never nil. The
+	// executor observes through &c.reg.
+	reg metrics.Registry
+
+	part   *workloads.Part // request part
+	entry  int             // request entry in the (possibly rewritten) image
+	bpart  *workloads.Part // background part (nil without batch work)
+	bentry int
+
+	arr         *Arrivals
+	nextArrival uint64
+	generated   uint64
+
+	q     queue
+	slots []*slot
+	fifo  []int // in-flight slots in arrival order; fifo[0] is the oldest
+	batch []*batchTask
+	bnext int // next background instance to arm
+
+	steps uint64
+	r     cpu.BlockResult
+}
+
+// RunCell serves one sweep cell: cfg.Requests requests offered at
+// cell.Rate under cell.Policy. It is a pure function of its arguments —
+// sweeps may run cells concurrently (each builds its own scenario,
+// core and registry) and merge results in grid order.
+func RunCell(mach core.Machine, cfg Config, cl Cell) (CellStats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return CellStats{}, err
+	}
+	c, err := newCell(mach, cfg, cl)
+	if err != nil {
+		return CellStats{}, err
+	}
+	start := c.ex.Core.Now
+	switch c.pol {
+	case Agnostic, OSThread:
+		err = c.runFlat()
+	case Sidecar, EventAware:
+		err = c.runAsym()
+	case SMT:
+		err = c.runSMT()
+	}
+	if err != nil {
+		return CellStats{}, err
+	}
+	return c.stats(c.ex.Core.Now - start), nil
+}
+
+// pipelineOpts builds instrumentation options consistent with the
+// machine (the experiment harness uses the same recipe).
+func pipelineOpts(mach core.Machine) instrument.PipelineOptions {
+	opts := instrument.DefaultPipelineOptions()
+	opts.Primary.Machine = mach.Mem
+	opts.Primary.CPU = mach.CPU
+	opts.Primary.Switch = mach.Switch
+	opts.Scavenger.Machine = mach.Mem
+	opts.Scavenger.CPU = mach.CPU
+	return opts
+}
+
+func newCell(mach core.Machine, cfg Config, cl Cell) (*cell, error) {
+	workers := cfg.Workers
+	if cl.Policy == Sidecar {
+		workers = 1 // the dedicated lane serves strictly one at a time
+	}
+	specs := []workloads.Spec{cfg.Workload.Request}
+	withBatch := cfg.Batch > 0 && cfg.Workload.Background != nil
+	if withBatch {
+		specs = append(specs, cfg.Workload.Background)
+	}
+	h, err := core.NewHarness(mach, specs...)
+	if err != nil {
+		return nil, err
+	}
+	reqName := cfg.Workload.Request.Name()
+
+	// SMT is hardware-only and runs the uninstrumented binary; every
+	// software policy serves the same instrumented image (profile the
+	// request part, then insert primary prefetch+yield pairs and
+	// scavenger conditional yields), so policies differ only in
+	// scheduling, never in code.
+	var img *core.Image
+	if cl.Policy == SMT {
+		img = h.Baseline()
+	} else {
+		prof, _, err := h.Profile(reqName)
+		if err != nil {
+			return nil, err
+		}
+		img, err = h.Instrument(prof, pipelineOpts(mach))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	c := &cell{
+		cfg:   cfg,
+		pol:   cl.Policy,
+		rate:  cl.Rate,
+		h:     h,
+		part:  h.Sc.Part(reqName),
+		entry: img.Entries[reqName],
+		q:     newQueue(cfg.Queue),
+	}
+	execCfg := exec.Config{Switch: mach.Switch, MaxSteps: cfg.MaxSteps, Metrics: &c.reg}
+	if cl.Policy == OSThread {
+		execCfg.Switch = baselines.OSThreadCostModel()
+	}
+	c.ex = h.NewExecutor(img, execCfg)
+	if len(c.part.Instances) < workers {
+		return nil, fmt.Errorf("service: request workload %q provides %d instances for %d workers (each concurrent slot needs its own stack)",
+			reqName, len(c.part.Instances), workers)
+	}
+	for i := 0; i < workers; i++ {
+		ctx := coro.NewContext(i, c.entry, c.part.StackTops[i])
+		ctx.Name = fmt.Sprintf("worker[%d]", i)
+		c.slots = append(c.slots, &slot{task: exec.NewTask(ctx, coro.Primary), stack: c.part.StackTops[i]})
+	}
+	if withBatch {
+		bname := cfg.Workload.Background.Name()
+		c.bpart = h.Sc.Part(bname)
+		c.bentry = img.Entries[bname]
+		if len(c.bpart.Instances) < cfg.Batch {
+			return nil, fmt.Errorf("service: background workload %q provides %d instances for %d batch tasks",
+				bname, len(c.bpart.Instances), cfg.Batch)
+		}
+		for k := 0; k < cfg.Batch; k++ {
+			ctx := coro.NewContext(workers+k, c.bentry, c.bpart.StackTops[k])
+			ctx.Name = fmt.Sprintf("batch[%d]", k)
+			b := &batchTask{task: exec.NewTask(ctx, coro.Scavenger), stack: c.bpart.StackTops[k]}
+			c.armBatch(b)
+			c.batch = append(c.batch, b)
+		}
+		c.reg.Sched.BatchTasks = uint64(cfg.Batch)
+	}
+
+	spec := cfg.Arrivals
+	spec.Rate = cl.Rate
+	arr, err := NewArrivals(spec, mach.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c.arr = arr
+	c.nextArrival = arr.Next()
+	return c, nil
+}
+
+// pending reports whether any offered request is still unaccounted:
+// every request ends as exactly one of completed, dropped or shed.
+func (c *cell) pending() bool {
+	s := &c.reg.Service
+	return s.Completed+s.Dropped+s.Shed < uint64(c.cfg.Requests)
+}
+
+// pump admits every arrival due at or before the current cycle. After
+// pump, either all requests have been generated or the next arrival is
+// strictly in the future — which is what makes clip() a positive
+// budget.
+func (c *cell) pump() {
+	now := c.ex.Core.Now
+	for c.generated < uint64(c.cfg.Requests) && c.nextArrival <= now {
+		c.reg.Service.Arrivals++
+		if c.q.push(request{id: c.generated, arrival: c.nextArrival}) {
+			c.reg.Service.Admitted++
+		} else {
+			c.reg.Service.Dropped++
+		}
+		c.generated++
+		if c.generated < uint64(c.cfg.Requests) {
+			c.nextArrival = c.arr.Next()
+		}
+	}
+}
+
+// clip returns the busy-cycle budget to the next arrival (0 = no
+// arrivals left, unbounded): every engine hands it to RunBlock so the
+// simulation re-enters the scheduling loop at each arrival boundary.
+// A budget stop is exactly a fuel split — equivalence-preserving — so
+// clipping changes no architectural state, only where the engine gets
+// to look at the clock.
+func (c *cell) clip() uint64 {
+	if c.generated >= uint64(c.cfg.Requests) {
+		return 0
+	}
+	return c.nextArrival - c.ex.Core.Now
+}
+
+// idle advances the clock to the next arrival when nothing is runnable.
+func (c *cell) idle() error {
+	if c.generated >= uint64(c.cfg.Requests) {
+		// Unaccounted requests with nothing runnable and nothing to
+		// arrive cannot happen: queued requests fill free slots first.
+		return fmt.Errorf("service: stalled with no runnable work and no pending arrivals")
+	}
+	c.ex.Core.AdvanceIdle(c.nextArrival - c.ex.Core.Now)
+	return nil
+}
+
+// arm points s at req: restore the instance's initial registers on the
+// slot's private stack and clear all per-run context state. Accounting
+// counters survive — they aggregate across requests.
+func (c *cell) arm(s *slot, req request) {
+	inst := c.part.Instances[int(req.id%uint64(len(c.part.Instances)))]
+	ctx := s.task.Ctx
+	ctx.Regs = inst.Regs
+	ctx.Regs[isa.SP] = s.stack
+	ctx.PC = c.entry
+	ctx.Flags = 0
+	ctx.Halted = false
+	ctx.Result = 0
+	ctx.LastPrefetchValid = false
+	ctx.AccelPending = false
+	s.task.Reset()
+	s.busy = true
+	s.id = req.id
+	s.arrival = req.arrival
+	s.dispatched = c.ex.Core.Now
+	s.expected = inst.Expected
+}
+
+// armBatch re-arms b with the next background instance.
+func (c *cell) armBatch(b *batchTask) {
+	b.inst = c.bnext % len(c.bpart.Instances)
+	c.bnext++
+	inst := c.bpart.Instances[b.inst]
+	ctx := b.task.Ctx
+	ctx.Regs = inst.Regs
+	ctx.Regs[isa.SP] = b.stack
+	ctx.PC = c.bentry
+	ctx.Flags = 0
+	ctx.Halted = false
+	ctx.Result = 0
+	ctx.LastPrefetchValid = false
+	ctx.AccelPending = false
+	b.task.Reset()
+}
+
+// fill dispatches queued requests into free slots, shedding stale ones.
+// Dispatch order is arrival order (the queue is FIFO), so fifo stays
+// sorted by arrival.
+func (c *cell) fill() {
+	for _, s := range c.slots {
+		if s.busy {
+			continue
+		}
+		if !c.dispatch(s) {
+			return
+		}
+	}
+}
+
+// dispatch pops the next serviceable request into s; false means the
+// queue ran dry.
+func (c *cell) dispatch(s *slot) bool {
+	now := c.ex.Core.Now
+	for {
+		req, ok := c.q.pop()
+		if !ok {
+			return false
+		}
+		if c.cfg.ShedAfter > 0 && now-req.arrival > c.cfg.ShedAfter {
+			c.reg.Service.Shed++
+			continue
+		}
+		c.arm(s, req)
+		c.fifo = append(c.fifo, s.task.Ctx.ID)
+		return true
+	}
+}
+
+// complete validates and retires the request in s, recording its
+// sojourn (arrival → halt) and service (dispatch → halt) times.
+func (c *cell) complete(s *slot) error {
+	ctx := s.task.Ctx
+	if ctx.Result != s.expected {
+		return fmt.Errorf("service: request %d computed %d, reference says %d", s.id, ctx.Result, s.expected)
+	}
+	now := c.ex.Core.Now
+	c.reg.Service.Completed++
+	c.reg.Service.Sojourn.Observe(now - s.arrival)
+	c.reg.Sched.Requests++
+	c.reg.Sched.RequestLatency.Observe(now - s.dispatched)
+	s.busy = false
+	for i, id := range c.fifo {
+		if id == ctx.ID {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// completeBatch validates the finished batch op and re-arms the task.
+func (c *cell) completeBatch(b *batchTask) error {
+	if got, want := b.task.Ctx.Result, c.bpart.Instances[b.inst].Expected; got != want {
+		return fmt.Errorf("service: batch instance %d computed %d, reference says %d", b.inst, got, want)
+	}
+	c.reg.Service.BatchOps++
+	c.armBatch(b)
+	return nil
+}
+
+// Ring indexing: entities 0..len(slots)-1 are worker slots,
+// len(slots).. are batch tasks.
+
+func (c *cell) entities() int { return len(c.slots) + len(c.batch) }
+
+func (c *cell) taskAt(i int) *exec.Task {
+	if i < len(c.slots) {
+		return c.slots[i].task
+	}
+	return c.batch[i-len(c.slots)].task
+}
+
+// runnableAt reports whether ring entity i has work: busy slots always,
+// batch tasks always (they re-arm on halt).
+func (c *cell) runnableAt(i int) bool {
+	if i < len(c.slots) {
+		return c.slots[i].busy
+	}
+	return true
+}
+
+// nextRunnable scans the ring from cur+1, wrapping through cur itself;
+// -1 means nothing is runnable.
+func (c *cell) nextRunnable(cur int) int {
+	n := c.entities()
+	for off := 1; off <= n; off++ {
+		i := (cur + off + n) % n
+		if c.runnableAt(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// haltAt retires ring entity i after its context halted.
+func (c *cell) haltAt(i int) error {
+	if i < len(c.slots) {
+		return c.complete(c.slots[i])
+	}
+	return c.completeBatch(c.batch[i-len(c.slots)])
+}
+
+// runFlat is the Agnostic/OSThread engine: one flat round-robin ring
+// over in-flight requests and batch work, rotating at every primary
+// yield, blind to request class — requests queue behind batch ops and
+// behind each other. OSThread runs the identical discipline with
+// kernel-priced switches.
+func (c *cell) runFlat() error {
+	cur := -1 // ring entity currently holding the CPU; -1 = none
+	for c.pending() {
+		if c.steps >= c.cfg.MaxSteps {
+			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate)
+		}
+		c.pump()
+		c.fill()
+		if cur < 0 || !c.runnableAt(cur) {
+			nxt := c.nextRunnable(cur)
+			if nxt < 0 {
+				if err := c.idle(); err != nil {
+					return err
+				}
+				continue
+			}
+			cur = nxt
+			c.ex.Resume(c.taskAt(cur))
+		}
+		t := c.taskAt(cur)
+		if err := c.ex.Core.RunBlock(t.Ctx, false, c.cfg.MaxSteps-c.steps, c.clip(), &c.r); err != nil {
+			return err
+		}
+		c.steps += c.r.Steps
+		switch {
+		case c.r.Halted:
+			if err := c.haltAt(cur); err != nil {
+				return err
+			}
+			if nxt := c.nextRunnable(cur); nxt >= 0 {
+				cur = nxt
+				c.ex.Resume(c.taskAt(cur))
+			} else {
+				cur = -1
+			}
+		case c.r.Yield:
+			if nxt := c.nextRunnable(cur); nxt >= 0 && nxt != cur {
+				c.ex.SwitchOut(t, c.r.LiveMask)
+				cur = nxt
+				c.ex.Resume(c.taskAt(cur))
+			}
+			// Conditional yields stay dormant in the flat disciplines
+			// (every task runs in primary mode), and a budget stop just
+			// re-enters the loop on the same task.
+		}
+	}
+	return nil
+}
+
+// runAsym is the Sidecar/EventAware engine: the oldest in-flight
+// request is the primary; its miss shadows are filled by scavengers —
+// younger in-flight requests first (EventAware only; Sidecar's single
+// lane never has any), then batch tasks — using the dual-mode episode
+// discipline of exec.RunDualMode. Between requests, batch tasks fill
+// the idle core and hand over at their next yield boundary when a
+// request arrives.
+func (c *cell) runAsym() error {
+	var (
+		cur       = -1 // ring entity holding the CPU
+		scavIdx   int  // batch rotation cursor
+		inEpisode bool
+		epStart   uint64
+		epTarget  uint64
+	)
+
+	// primary returns the ring entity of the oldest in-flight request,
+	// or -1.
+	primary := func() int {
+		if len(c.fifo) == 0 {
+			return -1
+		}
+		return c.fifo[0]
+	}
+
+	// nextScavenger picks the next shadow-filler: younger in-flight
+	// requests in arrival order, then batch tasks in rotation.
+	nextScavenger := func(exclude int) int {
+		if len(c.fifo) > 1 {
+			for _, id := range c.fifo[1:] {
+				if id != exclude {
+					return id
+				}
+			}
+		}
+		for off := 0; off < len(c.batch); off++ {
+			k := (scavIdx + off) % len(c.batch)
+			e := len(c.slots) + k
+			if e != exclude {
+				scavIdx = (k + 1) % len(c.batch)
+				return e
+			}
+		}
+		return -1
+	}
+
+	endEpisode := func() {
+		if !inEpisode {
+			return
+		}
+		inEpisode = false
+		c.reg.Exec.NoteEpisode(c.ex.Core.Now-epStart, epTarget)
+	}
+
+	backToPrimary := func() {
+		endEpisode()
+		cur = primary()
+		c.ex.Resume(c.taskAt(cur))
+	}
+
+	for c.pending() {
+		if c.steps >= c.cfg.MaxSteps {
+			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate)
+		}
+		c.pump()
+		c.fill()
+		if cur < 0 {
+			// Nothing holds the CPU: the oldest request if any, else
+			// batch work, else idle to the next arrival.
+			if p := primary(); p >= 0 {
+				cur = p
+				c.ex.Resume(c.taskAt(cur))
+			} else if len(c.batch) > 0 {
+				cur = len(c.slots) + scavIdx%len(c.batch)
+				scavIdx++
+				c.ex.Resume(c.taskAt(cur))
+			} else {
+				if err := c.idle(); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		t := c.taskAt(cur)
+		isPrimary := cur == primary()
+		if err := c.ex.Core.RunBlock(t.Ctx, false, c.cfg.MaxSteps-c.steps, c.clip(), &c.r); err != nil {
+			return err
+		}
+		c.steps += c.r.Steps
+		now := c.ex.Core.Now
+		targetMet := inEpisode && now-epStart >= epTarget
+
+		switch {
+		case c.r.Halted:
+			if err := c.haltAt(cur); err != nil {
+				return err
+			}
+			if isPrimary {
+				// The request completed; promote the next oldest. No
+				// episode can be open — the primary halts only while
+				// running.
+				if p := primary(); p >= 0 {
+					cur = p
+					c.ex.Resume(c.taskAt(cur))
+				} else {
+					cur = -1
+				}
+				continue
+			}
+			// A scavenger finished (younger request served in a shadow,
+			// or a batch op — already re-armed). Hand back if the
+			// episode's window has elapsed, else keep the shadow full;
+			// with nothing in flight, fall back to the idle-fill pick.
+			switch {
+			case targetMet:
+				backToPrimary()
+			case inEpisode:
+				if nxt := nextScavenger(cur); nxt >= 0 {
+					if nxt != cur {
+						c.reg.Exec.Chains++
+					}
+					cur = nxt
+					c.ex.Resume(c.taskAt(cur))
+				} else {
+					backToPrimary()
+				}
+			case primary() >= 0:
+				cur = primary()
+				c.ex.Resume(c.taskAt(cur))
+			default:
+				cur = -1 // idle fill re-picks at the loop top
+			}
+
+		case c.r.Yield:
+			if isPrimary {
+				// The primary prefetched a likely miss: open a hide
+				// episode sized by the prefetch's residual fill time.
+				nxt := nextScavenger(-1)
+				if nxt < 0 {
+					continue // nobody to hide behind; eat the miss
+				}
+				target := c.ex.Cfg.HideTarget
+				ctx := t.Ctx
+				var residual uint64
+				if ctx.LastPrefetchValid {
+					residual = c.ex.Core.Hier.Residual(ctx.LastPrefetchAddr, now)
+				}
+				if ctx.AccelPending && ctx.AccelDone > now {
+					if r := ctx.AccelDone - now; r > residual {
+						residual = r
+					}
+				}
+				if residual > 0 {
+					target = residual
+				}
+				inEpisode = true
+				epStart = now
+				epTarget = target
+				c.ex.SwitchOut(t, c.r.LiveMask)
+				cur = nxt
+				c.ex.Resume(c.taskAt(cur))
+				continue
+			}
+			// A scavenger hit its own likely miss: chain onward; or, if
+			// the lane is idle-filling and a request is now waiting,
+			// this yield is the hand-over boundary.
+			if !inEpisode && primary() >= 0 {
+				c.ex.SwitchOut(t, c.r.LiveMask)
+				cur = primary()
+				c.ex.Resume(c.taskAt(cur))
+				continue
+			}
+			if nxt := nextScavenger(cur); nxt >= 0 && nxt != cur {
+				c.ex.SwitchOut(t, c.r.LiveMask)
+				c.reg.Exec.Chains++
+				cur = nxt
+				c.ex.Resume(c.taskAt(cur))
+			}
+
+		case c.r.CondYield:
+			if isPrimary {
+				continue // dormant in primary mode
+			}
+			// Scavenger-phase yield: the hand-back point. Return to the
+			// primary once the hide window elapsed, or to a
+			// newly-arrived request when the core was idle-filling.
+			if targetMet {
+				c.ex.SwitchOut(t, c.r.LiveMask)
+				backToPrimary()
+			} else if !inEpisode && primary() >= 0 {
+				c.ex.SwitchOut(t, c.r.LiveMask)
+				cur = primary()
+				c.ex.Resume(c.taskAt(cur))
+			}
+		}
+	}
+	return nil
+}
+
+// runSMT is the hardware baseline: worker slots plus batch contexts
+// multiplex the core as hardware threads over the uninstrumented
+// binary, switching on memory stalls with zero software cost — and zero
+// notion of request priority, so batch work is multiplexed like any
+// request (the paper's §1 critique). The loop is smt.Runner's
+// stall-switch discipline with arrival-clipped budgets and slot
+// re-arming.
+func (c *cell) runSMT() error {
+	n := c.entities()
+	blockedUntil := make([]uint64, n)
+	quantum := smt.DefaultConfig().Quantum
+	cur := 0
+	var sliceUsed uint64
+	for c.pending() {
+		if c.steps >= c.cfg.MaxSteps {
+			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate)
+		}
+		c.pump()
+		c.fill()
+		now := c.ex.Core.Now
+		picked := -1
+		preemptAt := uint64(0)
+		for off := 0; off < n; off++ {
+			i := (cur + off) % n
+			if !c.runnableAt(i) {
+				continue
+			}
+			if blockedUntil[i] <= now {
+				picked = i
+				break
+			}
+			if preemptAt == 0 || blockedUntil[i] < preemptAt {
+				preemptAt = blockedUntil[i]
+			}
+		}
+		if picked < 0 {
+			// Every armed context is blocked on memory (or no request
+			// is in flight): idle to the earliest wake-up or arrival.
+			soonest := uint64(0)
+			for i := 0; i < n; i++ {
+				if c.runnableAt(i) && blockedUntil[i] > now &&
+					(soonest == 0 || blockedUntil[i] < soonest) {
+					soonest = blockedUntil[i]
+				}
+			}
+			if c.generated < uint64(c.cfg.Requests) &&
+				(soonest == 0 || c.nextArrival < soonest) {
+				soonest = c.nextArrival
+			}
+			if soonest <= now {
+				return fmt.Errorf("service: smt deadlock — nothing runnable and nothing pending")
+			}
+			c.ex.Core.AdvanceIdle(soonest - now)
+			continue
+		}
+		budget := quantum - sliceUsed
+		if preemptAt > now && preemptAt-now < budget {
+			budget = preemptAt - now
+		}
+		if clip := c.clip(); clip > 0 && clip < budget {
+			budget = clip
+		}
+		ctx := c.taskAt(picked).Ctx
+		if err := c.ex.Core.RunBlock(ctx, true, c.cfg.MaxSteps-c.steps, budget, &c.r); err != nil {
+			return err
+		}
+		c.steps += c.r.Steps
+		sliceUsed += c.r.Busy
+		rotate := false
+		if c.r.Stall > 0 {
+			blockedUntil[picked] = c.ex.Core.Now + c.r.Stall
+			ctx.StallCycles += c.r.Stall
+			rotate = true
+		}
+		if c.r.Halted {
+			if err := c.haltAt(picked); err != nil {
+				return err
+			}
+			rotate = true
+		}
+		if rotate || sliceUsed >= quantum {
+			cur = (picked + 1) % n
+			sliceUsed = 0
+		}
+	}
+	return nil
+}

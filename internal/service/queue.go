@@ -1,0 +1,45 @@
+package service
+
+// request is one admitted request waiting for (or holding) a worker
+// slot. id doubles as the instance selector: request j runs the request
+// part's instance j mod len(instances).
+type request struct {
+	id      uint64
+	arrival uint64 // absolute simulated cycle of arrival
+}
+
+// queue is the bounded FIFO admission buffer. A fixed ring — the
+// steady-state serving loop performs no allocation.
+type queue struct {
+	buf  []request
+	head int
+	n    int
+}
+
+func newQueue(capacity int) queue {
+	return queue{buf: make([]request, capacity)}
+}
+
+// push admits r; false means the queue is full (the caller records a
+// drop).
+func (q *queue) push(r request) bool {
+	if q.n == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = r
+	q.n++
+	return true
+}
+
+// pop removes the oldest request; false means empty.
+func (q *queue) pop() (request, bool) {
+	if q.n == 0 {
+		return request{}, false
+	}
+	r := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return r, true
+}
+
+func (q *queue) empty() bool { return q.n == 0 }

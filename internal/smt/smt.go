@@ -15,6 +15,7 @@ import (
 	"repro/internal/bincfg"
 	"repro/internal/coro"
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 )
 
 // Config tunes the SMT model.
@@ -34,6 +35,12 @@ type Config struct {
 	// quantum budget and stall-block boundaries exactly, so this is an
 	// A/B and differential-testing knob, not a correctness one.
 	DisableSuperblocks bool
+	// Metrics, when non-nil, receives per-context completion latencies
+	// in the Sched section at each halt — the same contract exec.Config
+	// has, so SMT baseline runs (including resumable many-core ones)
+	// report request latencies like the coroutine engines do. One nil
+	// check per halt is the whole disabled-path cost.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig models 2-way SMT (Intel Hyper-Threading) with a fine
@@ -235,6 +242,10 @@ func (rn *Runner) Run(deadline uint64) (bool, error) {
 		}
 		if rn.r.Halted {
 			rn.latencies[picked] = core.Now - rn.start
+			if m := cfg.Metrics; m != nil {
+				m.Sched.Requests++
+				m.Sched.RequestLatency.Observe(core.Now - rn.start)
+			}
 			rn.running--
 			rotate = true
 		}

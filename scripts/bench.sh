@@ -48,6 +48,20 @@ echo "host parallelism: $(nproc 2>/dev/null || echo unknown) cpu(s)"
 scaling=$(go test -run '^$' -bench 'BenchmarkMachineScaling' -benchmem -benchtime "$benchtime" .)
 echo "$scaling"
 
+echo
+echo "== open-loop service harness (benchtime=$benchtime) =="
+# End-to-end serving-loop throughput (arrivals, admission, dispatch,
+# sojourn recording) plus the simulated p99 of the event-aware cell.
+# Informational for the rate (a whole-pipeline figure, too noisy to
+# gate), but the run itself is a hard check: the benchmark fails if the
+# event-aware policy leaves requests unserved.
+if ! serve=$(go test -run '^$' -bench 'BenchmarkServiceThroughput$' -benchtime "$benchtime" .); then
+    echo "$serve"
+    echo "FAIL: BenchmarkServiceThroughput failed (event-aware cell incomplete?)" >&2
+    exit 1
+fi
+echo "$serve"
+
 # Hard check: the machine kernel's steady-state Step must not allocate
 # (the same 0-alloc line the single-core step path is held to).
 if ! go test -run 'TestMachineSteadyStateAllocs' -count=1 ./internal/machine/ >/dev/null; then

@@ -206,6 +206,16 @@ func (s *Session) CacheDir() string {
 	return s.cache.Dir()
 }
 
+// CacheStats reports result-cache lookups since the session opened the
+// cache: hits were served without simulating, misses were computed and
+// stored. Both are zero when caching is disabled.
+func (s *Session) CacheStats() (hits, misses uint64) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.Hits(), s.cache.Misses()
+}
+
 // NewHarness composes workload specs over the session's per-core
 // machine template.
 func (s *Session) NewHarness(specs ...workloads.Spec) (*Harness, error) {

@@ -14,8 +14,8 @@ func TestSessionDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Machine().Seed != DefaultMachine().Seed {
-		t.Error("default session machine differs from DefaultMachine")
+	if s.Machine().Seed != DefaultTopology(1).Machine.Seed {
+		t.Error("default session machine differs from the reference topology's")
 	}
 	if s.CacheDir() != "" {
 		t.Error("cache enabled without WithCache")
@@ -26,7 +26,7 @@ func TestSessionDefaults(t *testing.T) {
 }
 
 func TestSessionOptions(t *testing.T) {
-	m := DefaultMachine()
+	m := DefaultTopology(1).Machine
 	m.MemBytes = 128 << 20
 	s, err := NewSession(WithMachine(m), WithSeed(99), WithParallelism(4), WithCache(t.TempDir()))
 	if err != nil {

@@ -1,5 +1,5 @@
 // Package detlint enforces the repository's determinism contract in
-// cycle-domain packages (internal/{mem,cpu,exec,smt,sched,pebs,machine}):
+// cycle-domain packages (internal/{mem,cpu,exec,smt,sched,pebs,machine,service}):
 // every simulated run with the same seed must be bit-identical, so those
 // packages must not iterate maps in an order-sensitive way, read wall
 // clocks, or draw from the global (process-seeded) random source.
@@ -41,7 +41,7 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "detlint",
 	Doc: "forbid nondeterminism sources (map iteration, wall clocks, global rand) in cycle-domain packages\n\n" +
-		"Applies to packages under internal/ whose name is one of mem, cpu, exec, smt, sched, pebs, machine, " +
+		"Applies to packages under internal/ whose name is one of mem, cpu, exec, smt, sched, pebs, machine, service, " +
 		"plus individually listed cycle-adjacent files (internal/bincfg/{blockplan,superblock}.go).",
 	Run: run,
 }
@@ -57,6 +57,7 @@ var cycleDomain = map[string]bool{
 	"sched":   true,
 	"pebs":    true,
 	"machine": true,
+	"service": true, // open-loop arrivals + admission queue feed sojourn histograms
 }
 
 // cycleAdjacent lists individual files, keyed by package base name under

@@ -221,6 +221,20 @@ func TestSMTPackageInCycleDomain(t *testing.T) {
 	}
 }
 
+// TestServicePackageInCycleDomain pins the PR-8 extension: the open-loop
+// service harness draws arrivals from the scenario's seeded rng and its
+// sojourn histograms must replay byte-identically, so internal/service
+// carries the full determinism contract.
+func TestServicePackageInCycleDomain(t *testing.T) {
+	diags := analyzertest.Check(t, "repro/internal/service",
+		map[string]string{"step.go": strings.Replace(violationsSrc, "package exec", "package service", 1)},
+		deps(), Analyzer)
+	if len(diags) != 4 {
+		t.Fatalf("want 4 diagnostics in internal/service, got %d: %v",
+			len(diags), analyzertest.Messages(diags))
+	}
+}
+
 func TestInCycleDomain(t *testing.T) {
 	cases := map[string]bool{
 		"repro/internal/mem":     true,
@@ -229,6 +243,7 @@ func TestInCycleDomain(t *testing.T) {
 		"repro/internal/smt":     true,
 		"repro/internal/sched":   true,
 		"repro/internal/pebs":    true,
+		"repro/internal/service": true,
 		"other/internal/mem":     true, // any module's internal cycle domain
 		"repro/internal/profile": false,
 		"repro/internal/mem/sub": false, // sub isn't a cycle-domain name

@@ -23,7 +23,7 @@ func TestWithTopology(t *testing.T) {
 }
 
 func TestWithMachineIsSingleCoreTopology(t *testing.T) {
-	m := DefaultMachine()
+	m := DefaultTopology(1).Machine
 	m.MemBytes = 32 << 20
 	s, err := NewSession(WithMachine(m))
 	if err != nil {
