@@ -164,13 +164,15 @@ type BlockResult struct {
 // those of an equivalent StepInto sequence; when observers are attached
 // (profiling runs) or no plan is installed, the call literally is a
 // StepInto sequence, so the observer event stream is unchanged.
+//
+//shsim:noalloc
 func (c *Core) RunBlock(ctx *coro.Context, block bool, fuel, busyBudget uint64, res *BlockResult) error {
 	*res = BlockResult{}
 	if len(c.observers) > 0 || c.plan == nil {
 		return c.runBlockSlow(ctx, block, fuel, busyBudget, res)
 	}
 	if ctx.Halted {
-		return c.fault(ctx.ID, ctx.PC, fmt.Errorf("stepping a halted context"))
+		return c.fault(ctx.ID, ctx.PC, fmt.Errorf("stepping a halted context")) //shsim:alloc-ok cold fault path; ends the run
 	}
 
 	var (
@@ -194,7 +196,7 @@ func (c *Core) RunBlock(ctx *coro.Context, block bool, fuel, busyBudget uint64, 
 	for steps < fuel {
 		if pc < 0 || pc >= len(instrs) {
 			finish()
-			return c.fault(ctx.ID, pc, fmt.Errorf("pc out of range"))
+			return c.fault(ctx.ID, pc, fmt.Errorf("pc out of range")) //shsim:alloc-ok cold fault path; ends the run
 		}
 
 		// Superblock tier: when pc heads an installed trace, run its
@@ -355,14 +357,14 @@ func (c *Core) RunBlock(ctx *coro.Context, block bool, fuel, busyBudget uint64, 
 				v, err := c.Mem.Read64(addr)
 				if err != nil {
 					finish()
-					return c.fault(ctx.ID, pc, err)
+					return c.fault(ctx.ID, pc, err) //shsim:alloc-ok cold fault path; ends the run
 				}
 				regs[in.Rd] = v
 				counters.Loads[pc]++
 			} else {
 				if err := c.Mem.Write64(addr, regs[in.Rs2]); err != nil {
 					finish()
-					return c.fault(ctx.ID, pc, err)
+					return c.fault(ctx.ID, pc, err) //shsim:alloc-ok cold fault path; ends the run
 				}
 				counters.Stores[pc]++
 			}
@@ -385,7 +387,7 @@ func (c *Core) RunBlock(ctx *coro.Context, block bool, fuel, busyBudget uint64, 
 			sp := regs[isa.SP] - 8
 			if err := c.Mem.Write64(sp, uint64(pc+1)); err != nil {
 				finish()
-				return c.fault(ctx.ID, pc, fmt.Errorf("call push: %w", err))
+				return c.fault(ctx.ID, pc, fmt.Errorf("call push: %w", err)) //shsim:alloc-ok cold fault path; ends the run
 			}
 			acc := c.Hier.Access(sp, c.Now)
 			if acc.Latency > absorb {
@@ -402,7 +404,7 @@ func (c *Core) RunBlock(ctx *coro.Context, block bool, fuel, busyBudget uint64, 
 			ra, err := c.Mem.Read64(sp)
 			if err != nil {
 				finish()
-				return c.fault(ctx.ID, pc, fmt.Errorf("ret pop: %w", err))
+				return c.fault(ctx.ID, pc, fmt.Errorf("ret pop: %w", err)) //shsim:alloc-ok cold fault path; ends the run
 			}
 			acc := c.Hier.Access(sp, c.Now)
 			if acc.Latency > absorb {
@@ -414,7 +416,7 @@ func (c *Core) RunBlock(ctx *coro.Context, block bool, fuel, busyBudget uint64, 
 			regs[isa.SP] = sp + 8
 			if ra >= uint64(len(instrs)) {
 				finish()
-				return c.fault(ctx.ID, pc, fmt.Errorf("ret to invalid address %d", ra))
+				return c.fault(ctx.ID, pc, fmt.Errorf("ret to invalid address %d", ra)) //shsim:alloc-ok cold fault path; ends the run
 			}
 			next = int(ra)
 			takenBranch = true
@@ -437,7 +439,7 @@ func (c *Core) RunBlock(ctx *coro.Context, block bool, fuel, busyBudget uint64, 
 				addr := regs[in.Rs1] + uint64(in.Imm)
 				if addr < c.Cfg.SandboxLo || addr+8 > c.Cfg.SandboxHi {
 					finish()
-					return c.fault(ctx.ID, pc, fmt.Errorf("SFI trap: %#x outside [%#x,%#x)", addr, c.Cfg.SandboxLo, c.Cfg.SandboxHi))
+					return c.fault(ctx.ID, pc, fmt.Errorf("SFI trap: %#x outside [%#x,%#x)", addr, c.Cfg.SandboxLo, c.Cfg.SandboxHi)) //shsim:alloc-ok cold fault path; ends the run
 				}
 			}
 
@@ -446,7 +448,7 @@ func (c *Core) RunBlock(ctx *coro.Context, block bool, fuel, busyBudget uint64, 
 			v, err := isa.AccelChecksum(c.Mem, addr)
 			if err != nil {
 				finish()
-				return c.fault(ctx.ID, pc, err)
+				return c.fault(ctx.ID, pc, err) //shsim:alloc-ok cold fault path; ends the run
 			}
 			ctx.AccelResult = v
 			ctx.AccelPending = true
@@ -466,7 +468,7 @@ func (c *Core) RunBlock(ctx *coro.Context, block bool, fuel, busyBudget uint64, 
 
 		default:
 			finish()
-			return c.fault(ctx.ID, pc, fmt.Errorf("unimplemented opcode %v", in.Op))
+			return c.fault(ctx.ID, pc, fmt.Errorf("unimplemented opcode %v", in.Op)) //shsim:alloc-ok cold fault path; ends the run
 		}
 
 		// Clock and accounting, in StepInto's exact order.

@@ -140,15 +140,17 @@ func sign(a, b int64) int {
 // Measured runs normally retire through RunBlock (block.go), which fuses
 // straight-line stretches; StepInto remains the semantic reference and
 // the only path that delivers per-instruction observer events.
+//
+//shsim:noalloc
 func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 	if ctx.Halted {
 		*res = StepResult{}
-		return c.fault(ctx.ID, ctx.PC, fmt.Errorf("stepping a halted context"))
+		return c.fault(ctx.ID, ctx.PC, fmt.Errorf("stepping a halted context")) //shsim:alloc-ok cold fault path; ends the run
 	}
 	pc := ctx.PC
 	if pc < 0 || pc >= len(c.instrs) {
 		*res = StepResult{}
-		return c.fault(ctx.ID, pc, fmt.Errorf("pc out of range"))
+		return c.fault(ctx.ID, pc, fmt.Errorf("pc out of range")) //shsim:alloc-ok cold fault path; ends the run
 	}
 	in := &c.instrs[pc]
 	*res = StepResult{PC: pc, Op: in.Op, Busy: c.costs[in.Op]}
@@ -202,13 +204,13 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 		if in.Op == isa.OpLoad {
 			v, err := c.Mem.Read64(addr)
 			if err != nil {
-				return c.fault(ctx.ID, pc, err)
+				return c.fault(ctx.ID, pc, err) //shsim:alloc-ok cold fault path; ends the run
 			}
 			regs[in.Rd] = v
 			c.Counters.Loads[pc]++
 		} else {
 			if err := c.Mem.Write64(addr, regs[in.Rs2]); err != nil {
-				return c.fault(ctx.ID, pc, err)
+				return c.fault(ctx.ID, pc, err) //shsim:alloc-ok cold fault path; ends the run
 			}
 			c.Counters.Stores[pc]++
 		}
@@ -235,7 +237,7 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 	case isa.OpCall:
 		sp := regs[isa.SP] - 8
 		if err := c.Mem.Write64(sp, uint64(pc+1)); err != nil {
-			return c.fault(ctx.ID, pc, fmt.Errorf("call push: %w", err))
+			return c.fault(ctx.ID, pc, fmt.Errorf("call push: %w", err)) //shsim:alloc-ok cold fault path; ends the run
 		}
 		applyMem(res, c.Hier.Access(sp, c.Now), c.Cfg.PipelineAbsorb)
 		regs[isa.SP] = sp
@@ -245,12 +247,12 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 		sp := regs[isa.SP]
 		ra, err := c.Mem.Read64(sp)
 		if err != nil {
-			return c.fault(ctx.ID, pc, fmt.Errorf("ret pop: %w", err))
+			return c.fault(ctx.ID, pc, fmt.Errorf("ret pop: %w", err)) //shsim:alloc-ok cold fault path; ends the run
 		}
 		applyMem(res, c.Hier.Access(sp, c.Now), c.Cfg.PipelineAbsorb)
 		regs[isa.SP] = sp + 8
 		if ra >= uint64(len(c.instrs)) {
-			return c.fault(ctx.ID, pc, fmt.Errorf("ret to invalid address %d", ra))
+			return c.fault(ctx.ID, pc, fmt.Errorf("ret to invalid address %d", ra)) //shsim:alloc-ok cold fault path; ends the run
 		}
 		next = int(ra)
 		takenBranch = true
@@ -274,7 +276,7 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 		if c.Cfg.SandboxHi > c.Cfg.SandboxLo {
 			addr := regs[in.Rs1] + uint64(in.Imm)
 			if addr < c.Cfg.SandboxLo || addr+8 > c.Cfg.SandboxHi {
-				return c.fault(ctx.ID, pc, fmt.Errorf("SFI trap: %#x outside [%#x,%#x)", addr, c.Cfg.SandboxLo, c.Cfg.SandboxHi))
+				return c.fault(ctx.ID, pc, fmt.Errorf("SFI trap: %#x outside [%#x,%#x)", addr, c.Cfg.SandboxLo, c.Cfg.SandboxHi)) //shsim:alloc-ok cold fault path; ends the run
 			}
 		}
 
@@ -282,7 +284,7 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 		addr := regs[in.Rs1] + uint64(in.Imm)
 		v, err := isa.AccelChecksum(c.Mem, addr)
 		if err != nil {
-			return c.fault(ctx.ID, pc, err)
+			return c.fault(ctx.ID, pc, err) //shsim:alloc-ok cold fault path; ends the run
 		}
 		ctx.AccelResult = v
 		ctx.AccelPending = true
@@ -304,7 +306,7 @@ func (c *Core) StepInto(ctx *coro.Context, block bool, res *StepResult) error {
 		ctx.Result = regs[1]
 
 	default:
-		return c.fault(ctx.ID, pc, fmt.Errorf("unimplemented opcode %v", in.Op))
+		return c.fault(ctx.ID, pc, fmt.Errorf("unimplemented opcode %v", in.Op)) //shsim:alloc-ok cold fault path; ends the run
 	}
 
 	// Clock and accounting.

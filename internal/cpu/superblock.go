@@ -365,6 +365,8 @@ func (c *Core) flushSuperExec(sb *superblock, laps uint64, partial int) {
 // generic loop would have); progressed=false means not a single
 // instruction retired, so the caller must fall back to generic dispatch
 // to guarantee forward progress.
+//
+//shsim:noalloc
 func (c *Core) runSuper(sb *superblock, ctx *coro.Context, block bool, fuel, busyBudget uint64, res *BlockResult, pcp *int, stepsp, busyAccp *uint64) (done, progressed bool, err error) {
 	var (
 		regs     = &ctx.Regs
@@ -501,14 +503,14 @@ func (c *Core) runSuper(sb *superblock, ctx *coro.Context, block bool, fuel, bus
 				v, rerr := c.Mem.Read64(addr)
 				if rerr != nil {
 					leave(pc, si)
-					return false, steps > start, c.fault(ctx.ID, pc, rerr)
+					return false, steps > start, c.fault(ctx.ID, pc, rerr) //shsim:alloc-ok cold fault path; ends the run
 				}
 				regs[st.rd&15] = v
 				counters.Loads[pc]++
 			} else {
 				if werr := c.Mem.Write64(addr, regs[st.rd&15]); werr != nil {
 					leave(pc, si)
-					return false, steps > start, c.fault(ctx.ID, pc, werr)
+					return false, steps > start, c.fault(ctx.ID, pc, werr) //shsim:alloc-ok cold fault path; ends the run
 				}
 				counters.Stores[pc]++
 			}

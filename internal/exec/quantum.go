@@ -63,6 +63,8 @@ func (t *Ticker) Done() bool { return t.done }
 // nor halts, so control simply returns to the deadline check, which
 // fires because a budget stop advances the clock by at least the
 // budget.
+//
+//shsim:cycle-entry
 func (t *Ticker) Run(deadline uint64) (bool, error) {
 	if t.done {
 		return true, nil

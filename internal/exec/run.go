@@ -12,6 +12,8 @@ import (
 // RunSolo executes a single task to completion. Yields retire but never
 // switch (there is nobody to switch to) — this measures both the baseline
 // and the pure overhead of instrumentation on an otherwise idle runtime.
+//
+//shsim:cycle-entry
 func (e *Executor) RunSolo(t *Task) (Stats, error) {
 	start := e.Core.Now
 	var steps uint64
@@ -34,6 +36,8 @@ func (e *Executor) RunSolo(t *Task) (Stats, error) {
 // rotates to the next runnable task (conditional yields stay dormant —
 // every task runs in primary mode). This is the batch/throughput discipline
 // of CoroBase-style systems.
+//
+//shsim:cycle-entry
 func (e *Executor) RunSymmetric(tasks []*Task) (Stats, error) {
 	if len(tasks) == 0 {
 		return Stats{}, fmt.Errorf("exec: no tasks")
@@ -110,6 +114,8 @@ func (e *Executor) nextRunnable(tasks []*Task, cur int) int {
 //     primary when the pool is exhausted.
 //
 // The run ends when the primary halts (then optionally drains scavengers).
+//
+//shsim:cycle-entry
 func (e *Executor) RunDualMode(primary *Task, scavengers []*Task) (Stats, error) {
 	primary.Mode = coro.Primary
 	primary.Ctx.Mode = coro.Primary
@@ -289,6 +295,8 @@ func (e *Executor) RunDualMode(primary *Task, scavengers []*Task) (Stats, error)
 // replenished as they retire) and the embodiment of the paper's intro
 // point that software mechanisms support on-demand scaling of
 // concurrency: W is a runtime knob, not a hardware property.
+//
+//shsim:cycle-entry
 func (e *Executor) RunWindowed(stream []*Task, width int) (Stats, error) {
 	if len(stream) == 0 {
 		return Stats{}, fmt.Errorf("exec: no tasks")

@@ -59,6 +59,8 @@ type coreRunner struct {
 }
 
 // run advances the core's engine to the deadline.
+//
+//shsim:quantum-phase
 func (c *coreRunner) run(deadline uint64) (bool, error) {
 	if c.tick != nil {
 		return c.tick.Run(deadline)
@@ -68,6 +70,8 @@ func (c *coreRunner) run(deadline uint64) (bool, error) {
 
 // loop is the worker goroutine: one quantum per handshake. It performs
 // no allocation and exits when the kernel closes the start channel.
+//
+//shsim:quantum-phase
 func (c *coreRunner) loop() {
 	for deadline := range c.start {
 		if !c.done && c.err == nil {
@@ -188,6 +192,13 @@ func New(topo Topology, rc RunConfig) (*Machine, error) {
 // barrier, and the shared LLC commits the quantum's traffic in
 // core-index order. Returns done=true once every core has halted (or an
 // error stopped the run). The steady-state path performs no allocation.
+//
+// Step is the barrier: the only place shared LLC state commits, and a
+// cycle-domain entry point in its own right (all forward progress of
+// the many-core clock flows through here).
+//
+//shsim:commit-phase
+//shsim:cycle-entry
 func (m *Machine) Step() (bool, error) {
 	if m.finished || m.closed {
 		return true, m.err

@@ -225,6 +225,8 @@ type AccessResult struct {
 // Access performs a demand load of the line containing addr at cycle
 // `now` and returns its latency and serving level. The line is installed
 // in all levels afterwards.
+//
+//shsim:noalloc inline
 func (h *Hierarchy) Access(addr, now uint64) AccessResult {
 	return h.AccessW(addr, now, false)
 }
@@ -232,6 +234,8 @@ func (h *Hierarchy) Access(addr, now uint64) AccessResult {
 // AccessW is Access with an explicit read/write flag: stores mark the L1
 // line dirty (write-back, write-allocate), and a fill that evicts a dirty
 // victim pays the write-back penalty.
+//
+//shsim:noalloc
 func (h *Hierarchy) AccessW(addr, now uint64, write bool) AccessResult {
 	ln := h.lineAddr(addr)
 	h.streamDetect(ln, now)
@@ -349,6 +353,8 @@ func (h *Hierarchy) LineMask() uint64 { return ^(h.cfg.LineSize - 1) }
 // access counter — so the replay is bit-identical, just without the set
 // walks. The superblock engine (internal/cpu) memoizes per-instruction
 // lines against Gen() to decide when attempting this path is worthwhile.
+//
+//shsim:noalloc
 func (h *Hierarchy) AccessResident(addr, now uint64, write bool) (AccessResult, bool) {
 	if len(h.fills.entries) != 0 {
 		return AccessResult{}, false

@@ -194,11 +194,16 @@ func NewSharedLLC(cfg LLCConfig) (*SharedLLC, error) {
 }
 
 // Config returns the LLC configuration.
+//
+//shsim:llc-read
 func (s *SharedLLC) Config() LLCConfig { return s.cfg }
 
 // NewView registers a per-core view. The view's position in the commit
 // order is its registration order, so cores must register views in
-// core-index order.
+// core-index order. Setup-only: reshapes shared state, so it is off
+// limits once core goroutines exist.
+//
+//shsim:llc-mutate
 func (s *SharedLLC) NewView(coreID int) *LLCView {
 	v := &LLCView{llc: s, asid: uint64(coreID+1) << asidLineShift}
 	s.views = append(s.views, v)
@@ -209,6 +214,8 @@ func (s *SharedLLC) NewView(coreID int) *LLCView {
 // registration (core-index) order, merges per-view statistics, and
 // derives the next quantum's contention penalties from the committed
 // load. Call exactly once per quantum barrier, from one goroutine.
+//
+//shsim:llc-mutate
 func (s *SharedLLC) Commit() {
 	for i := range s.curLoad {
 		s.curLoad[i] = 0
@@ -275,6 +282,9 @@ type LLCView struct {
 
 // key maps a byte line address into the banked key space: low bits pick
 // the bank, the rest (with the core tag on top) form the in-bank line.
+//
+//shsim:llc-read
+//shsim:noalloc inline
 func (v *LLCView) key(ln uint64) uint64 {
 	return v.asid | (ln >> v.llc.lineShift)
 }
@@ -282,7 +292,11 @@ func (v *LLCView) key(ln uint64) uint64 {
 // Demand probes the committed LLC state for the line containing byte
 // line address ln, logs the access for commit, and returns the serving
 // level (LevelL3 or LevelDRAM) plus the total latency including any
-// contention penalty carried over from the previous quantum.
+// contention penalty carried over from the previous quantum. Probes
+// committed tag state and writes only the view's core-private log.
+//
+//shsim:llc-read
+//shsim:noalloc
 func (v *LLCView) Demand(ln uint64) (Level, uint64) {
 	s := v.llc
 	key := v.key(ln)
@@ -308,13 +322,19 @@ func (v *LLCView) Demand(ln uint64) (Level, uint64) {
 
 // Fill logs an install (a private-level fill landing, a pre-warm touch)
 // without probing: the line enters the LLC at the next commit and
-// counts toward bank load.
+// counts toward bank load. Appends to the core-private log only.
+//
+//shsim:llc-read
+//shsim:noalloc inline
 func (v *LLCView) Fill(ln uint64) {
 	v.log = append(v.log, v.key(ln))
 }
 
 // Contains reports whether the committed LLC state holds the line. It
 // neither logs nor perturbs recency — the §4.1 presence-probe contract.
+//
+//shsim:llc-read
+//shsim:noalloc inline
 func (v *LLCView) Contains(ln uint64) bool {
 	s := v.llc
 	key := v.key(ln)

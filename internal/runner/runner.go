@@ -202,7 +202,25 @@ func Stream(ctx context.Context, jobs []Job, opts Options, emit func(Result) err
 	return ctx.Err()
 }
 
-// execute runs one job, consulting the cache on both sides.
+// timedRun invokes one experiment body and measures its host wall
+// time. Wall time here is harness telemetry (the per-job column in
+// sweep tables), never an input to simulated state: every simulated
+// duration derives from the core clock.
+//
+//shsim:nondeterministic-ok host wall-time telemetry; never feeds simulated state
+func timedRun(run experiments.Runner, m core.Machine) (*experiments.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := run(m)
+	return res, time.Since(start), err
+}
+
+// execute runs one job, consulting the cache on both sides. This is
+// the per-job cell executor — the runner-side cycle-domain entry: the
+// experiment body it invokes owns a private simulated machine, so
+// nothing nondeterministic may be reachable from here (the wall-clock
+// telemetry is outlined and suppressed in timedRun).
+//
+//shsim:cycle-entry
 func execute(ctx context.Context, j Job, seq int, cache *Cache) Result {
 	r := Result{Job: j, Seq: seq}
 	if err := ctx.Err(); err != nil {
@@ -224,9 +242,8 @@ func execute(ctx context.Context, j Job, seq int, cache *Cache) Result {
 			return r
 		}
 	}
-	start := time.Now()
-	res, err := run(j.Mach)
-	r.Wall = time.Since(start)
+	res, wall, err := timedRun(run, j.Mach)
+	r.Wall = wall
 	if err != nil {
 		r.Err = err
 		return r

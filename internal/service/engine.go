@@ -399,11 +399,14 @@ func (c *cell) haltAt(i int) error {
 // yield, blind to request class — requests queue behind batch ops and
 // behind each other. OSThread runs the identical discipline with
 // kernel-priced switches.
+//
+//shsim:cycle-entry
+//shsim:noalloc
 func (c *cell) runFlat() error {
 	cur := -1 // ring entity currently holding the CPU; -1 = none
 	for c.pending() {
 		if c.steps >= c.cfg.MaxSteps {
-			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate)
+			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate) //shsim:alloc-ok cold overrun guard; fails the run
 		}
 		c.pump()
 		c.fill()
@@ -455,6 +458,9 @@ func (c *cell) runFlat() error {
 // discipline of exec.RunDualMode. Between requests, batch tasks fill
 // the idle core and hand over at their next yield boundary when a
 // request arrives.
+//
+//shsim:cycle-entry
+//shsim:noalloc
 func (c *cell) runAsym() error {
 	var (
 		cur       = -1 // ring entity holding the CPU
@@ -510,7 +516,7 @@ func (c *cell) runAsym() error {
 
 	for c.pending() {
 		if c.steps >= c.cfg.MaxSteps {
-			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate)
+			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate) //shsim:alloc-ok cold overrun guard; fails the run
 		}
 		c.pump()
 		c.fill()
@@ -654,15 +660,18 @@ func (c *cell) runAsym() error {
 // request (the paper's §1 critique). The loop is smt.Runner's
 // stall-switch discipline with arrival-clipped budgets and slot
 // re-arming.
+//
+//shsim:cycle-entry
+//shsim:noalloc
 func (c *cell) runSMT() error {
 	n := c.entities()
-	blockedUntil := make([]uint64, n)
+	blockedUntil := make([]uint64, n) //shsim:alloc-ok once per cell, before the service loop
 	quantum := smt.DefaultConfig().Quantum
 	cur := 0
 	var sliceUsed uint64
 	for c.pending() {
 		if c.steps >= c.cfg.MaxSteps {
-			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate)
+			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate) //shsim:alloc-ok cold overrun guard; fails the run
 		}
 		c.pump()
 		c.fill()
@@ -697,7 +706,7 @@ func (c *cell) runSMT() error {
 				soonest = c.nextArrival
 			}
 			if soonest <= now {
-				return fmt.Errorf("service: smt deadlock — nothing runnable and nothing pending")
+				return fmt.Errorf("service: smt deadlock — nothing runnable and nothing pending") //shsim:alloc-ok cold deadlock guard; fails the run
 			}
 			c.ex.Core.AdvanceIdle(soonest - now)
 			continue

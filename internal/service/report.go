@@ -86,11 +86,15 @@ func (c *cell) stats(cycles uint64) CellStats {
 	return cs
 }
 
-// sojournTable renders the non-empty fine buckets.
+// sojournTable renders the non-empty fine buckets. A nil histogram
+// (metrics off) renders as an empty table.
 func sojournTable(h *metrics.FineHist, pol Policy, rate float64) *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("sojourn histogram: %s at %g req/µs (cycles)", pol, rate),
 		"bucket_lo", "bucket_hi", "count")
+	if h == nil {
+		return t
+	}
 	for i := 0; i < metrics.NumFineBuckets; i++ {
 		if h.Buckets[i] == 0 {
 			continue

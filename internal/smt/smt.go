@@ -75,6 +75,8 @@ func (s Stats) Efficiency() float64 {
 // Run multiplexes the contexts on the core until all halt. Software
 // yields (YIELD/CYIELD) retire as no-ops: SMT is hardware-only and cannot
 // see them. len(ctxs) must not exceed cfg.Contexts.
+//
+//shsim:cycle-entry
 func Run(core *cpu.Core, cfg Config, ctxs []*coro.Context) (Stats, error) {
 	r, err := NewRunner(core, cfg, ctxs)
 	if err != nil {
@@ -157,6 +159,8 @@ func (rn *Runner) Done() bool { return rn.done }
 // the deadline), and an all-blocked idle advance stops at the deadline
 // (the remaining idle is re-derived next quantum from blockedUntil, so
 // splitting the wait changes no state).
+//
+//shsim:cycle-entry
 func (rn *Runner) Run(deadline uint64) (bool, error) {
 	if rn.done {
 		return true, nil

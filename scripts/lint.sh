@@ -1,20 +1,110 @@
 #!/usr/bin/env sh
 # lint.sh — gating static-analysis entry point.
 #
-# Builds the repository's custom vet tool (shlint: detlint +
-# metricsguard, see tools/analyzers/) and runs it over every package
-# via the go command's vettool protocol, so the analyzers see each
-# package fully type-checked against the same export data the build
-# uses. Exits nonzero on any finding; CI gates merges on this script.
+# Builds the repository's custom vet tool (shlint: detlint, detflow,
+# barrierguard, allocguard, metricsguard — see tools/analyzers/) and
+# runs two layers over every package:
 #
-# Usage:  scripts/lint.sh
+#   1. `go vet -vettool=bin/shlint ./...` — the five analyzers, each
+#      package fully type-checked against the same export data the
+#      build uses, with cross-package facts (detflow taint,
+#      barrierguard reachability) flowing through the go command's
+#      vetx files.
+#   2. `bin/shlint -allocgate ./...` — the escape-analysis layer of
+#      the hot-path allocation proof: recompiles annotated packages
+#      with -gcflags=-m=2 and fails on heap allocations or lost
+#      inlines in //shsim:noalloc functions.
+#
+# Exits nonzero on any finding; CI gates merges on this script.
+#
+# Usage:  scripts/lint.sh [-run analyzer[,analyzer...]] [-json]
+#
+#   -run   run only the named vet analyzers (e.g. -run detflow); the
+#          allocgate step is skipped unless allocguard is selected.
+#   -json  emit vet diagnostics as JSON (one object per package).
+#
+# The shlint build is cached: the binary is rebuilt only when a file
+# under tools/analyzers/ (or go.mod) is newer than bin/shlint.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-mkdir -p bin
-go build -o bin/shlint repro/tools/analyzers/shlint
+RUN=""
+JSON=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -run)
+            [ $# -ge 2 ] || { echo "lint.sh: -run needs an analyzer list" >&2; exit 1; }
+            RUN="$2"; shift 2 ;;
+        -run=*)
+            RUN="${1#-run=}"; shift ;;
+        -json)
+            JSON=1; shift ;;
+        *)
+            echo "usage: scripts/lint.sh [-run analyzer[,analyzer...]] [-json]" >&2
+            exit 1 ;;
+    esac
+done
 
-echo "== shlint (detlint + metricsguard) =="
-go vet -vettool="$(pwd)/bin/shlint" ./...
-echo "shlint: all packages clean"
+# epoch <file> — mtime in seconds, 0 if missing.
+epoch() {
+    if [ -e "$1" ]; then
+        # shellcheck disable=SC2012
+        stat -c %Y "$1" 2>/dev/null || stat -f %m "$1"
+    else
+        echo 0
+    fi
+}
+
+now_ms() {
+    # POSIX date has no sub-second precision everywhere; prefer %N when
+    # the platform has it, fall back to whole seconds.
+    t=$(date +%s%N 2>/dev/null)
+    case "$t" in
+        *N) echo "$(($(date +%s) * 1000))" ;;
+        *)  echo "$((t / 1000000))" ;;
+    esac
+}
+
+mkdir -p bin
+BIN="$(pwd)/bin/shlint"
+bin_time=$(epoch "$BIN")
+newest=$(epoch go.mod)
+for f in $(find tools/analyzers -name '*.go' ! -path '*/testdata/*'); do
+    t=$(epoch "$f")
+    [ "$t" -gt "$newest" ] && newest=$t
+done
+if [ "$bin_time" -le "$newest" ]; then
+    echo "== building shlint =="
+    go build -o "$BIN" repro/tools/analyzers/shlint
+else
+    echo "== shlint up to date (bin/shlint) =="
+fi
+
+VET_FLAGS=""
+[ -n "$RUN" ] && VET_FLAGS="$VET_FLAGS -run=$RUN"
+[ -n "$JSON" ] && VET_FLAGS="$VET_FLAGS -json"
+
+echo "== go vet -vettool=shlint${RUN:+ [$RUN]} =="
+t0=$(now_ms)
+# shellcheck disable=SC2086
+go vet -vettool="$BIN" $VET_FLAGS ./...
+t1=$(now_ms)
+echo "vet: all packages clean ($((t1 - t0)) ms)"
+
+# The allocgate is allocguard's second layer: run it when no -run
+# filter is given, or when allocguard is in the list.
+run_gate=1
+if [ -n "$RUN" ]; then
+    case ",$RUN," in
+        *,allocguard,*) ;;
+        *) run_gate="" ;;
+    esac
+fi
+if [ -n "$run_gate" ]; then
+    echo "== shlint -allocgate =="
+    t0=$(now_ms)
+    "$BIN" -allocgate ./...
+    t1=$(now_ms)
+    echo "allocgate: all //shsim:noalloc functions clean ($((t1 - t0)) ms)"
+fi

@@ -1,0 +1,137 @@
+package allocguard
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/tools/analyzers/framework"
+	"repro/tools/analyzers/internal/analyzertest"
+)
+
+func deps() map[string]*types.Package {
+	return map[string]*types.Package{"fmt": analyzertest.Fmt()}
+}
+
+func check(t *testing.T, src string) []framework.Diagnostic {
+	t.Helper()
+	return analyzertest.Check(t, "repro/internal/cpu",
+		map[string]string{"hot.go": src}, deps(), Analyzer)
+}
+
+func TestAlwaysAllocatingConstructs(t *testing.T) {
+	diags := check(t, `package cpu
+
+import "fmt"
+
+//shsim:noalloc
+func step(n int) error {
+	seen := make(map[uint64]bool, n)
+	events := make(chan int)
+	go func() { events <- 1 }()
+	_ = seen
+	return fmt.Errorf("boom %d", n)
+}
+`)
+	rules := map[string]int{}
+	for _, d := range diags {
+		rules[d.Rule]++
+	}
+	// Two makes (map and chan), one go statement, one fmt call.
+	if rules["make"] != 2 || rules["goroutine"] != 1 || rules["fmtcall"] != 1 || len(diags) != 4 {
+		t.Fatalf("want 2 make + 1 goroutine + 1 fmtcall, got %v", analyzertest.Messages(diags))
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "step") {
+			t.Errorf("diagnostic should name the annotated function: %s", d.Message)
+		}
+	}
+}
+
+func TestSliceMakeAllowed(t *testing.T) {
+	// make([]T, n) can stack-allocate; only map/chan are categorical.
+	// The escape gate, not the AST layer, judges slices.
+	diags := check(t, `package cpu
+
+//shsim:noalloc
+func step(n int) int {
+	buf := make([]uint64, 8)
+	return len(buf) + n
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("make of a slice is the gate's business, got %v", analyzertest.Messages(diags))
+	}
+}
+
+func TestAllocOkSuppressesWithReason(t *testing.T) {
+	diags := check(t, `package cpu
+
+import "fmt"
+
+//shsim:noalloc
+func step(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative step %d", n) //shsim:alloc-ok cold fault path; ends the run
+	}
+	return nil
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("reasoned alloc-ok must suppress, got %v", analyzertest.Messages(diags))
+	}
+}
+
+func TestReasonlessAllocOkIsAFinding(t *testing.T) {
+	diags := check(t, `package cpu
+
+import "fmt"
+
+//shsim:noalloc
+func step(n int) error {
+	return fmt.Errorf("bad %d", n) //shsim:alloc-ok
+}
+`)
+	rules := map[string]bool{}
+	for _, d := range diags {
+		rules[d.Rule] = true
+	}
+	// The empty suppression is reported and does not license the line.
+	if len(diags) != 2 || !rules["suppression"] || !rules["fmtcall"] {
+		t.Fatalf("want suppression + fmtcall, got %v", analyzertest.Messages(diags))
+	}
+}
+
+func TestUnannotatedFunctionsIgnored(t *testing.T) {
+	diags := check(t, `package cpu
+
+import "fmt"
+
+func cold(n int) error {
+	_ = make(map[int]int)
+	return fmt.Errorf("fine here %d", n)
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("unannotated functions are out of scope, got %v", analyzertest.Messages(diags))
+	}
+}
+
+func TestMisplacedAndBadArgument(t *testing.T) {
+	diags := check(t, `package cpu
+
+//shsim:noalloc
+var hot int
+
+//shsim:noalloc always
+func step() {}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 misplaced diagnostics, got %v", analyzertest.Messages(diags))
+	}
+	for _, d := range diags {
+		if d.Rule != "misplaced" {
+			t.Errorf("want rule misplaced, got %q (%s)", d.Rule, d.Message)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package allocguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// annotated is one //shsim:noalloc function found in source: where its
+// body spans, and whether it must also stay inlinable.
+type annotated struct {
+	pkg        string
+	file       string // absolute path
+	name       string // compiler-style: F, T.M, (*T).M
+	start, end int    // declaration line range, inclusive
+	inline     bool
+}
+
+// Gate is the escape-analysis layer of the hot-path allocation proof:
+// it finds every //shsim:noalloc function under the given package
+// patterns, recompiles those packages with -gcflags=-m=2, and turns
+// the compiler's own escape and inlining diagnostics into verdicts —
+// any "escapes to heap" / "moved to heap" inside an annotated
+// function's lines fails (rule "heapalloc"), as does a "cannot inline"
+// for a function annotated `//shsim:noalloc inline` (rule "inline").
+// Lines carrying `//shsim:alloc-ok <reason>` are exempt.
+//
+// The go command replays cached compile diagnostics, so repeated gate
+// runs cost one cache probe, not a rebuild.
+//
+// Violations are written to out as "file:line: allocguard(rule): msg";
+// the returned count is the number written. err reports operational
+// failures (go list/build breakage), not violations.
+func Gate(dir string, patterns []string, out io.Writer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := listPackages(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+
+	fset := token.NewFileSet()
+	var funcs []annotated
+	allowed := map[string]map[int]bool{} // file -> line -> suppressed
+	var buildPkgs []string
+	for _, p := range pkgs {
+		before := len(funcs)
+		for _, gofile := range p.files {
+			path := filepath.Join(p.dir, gofile)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return 0, fmt.Errorf("allocguard: parsing %s: %w", path, err)
+			}
+			funcs = append(funcs, annotatedFuncs(fset, path, p.importPath, f)...)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//shsim:alloc-ok")
+					if !ok || strings.TrimSpace(rest) == "" {
+						continue // reasonless suppressions are the vet analyzer's finding
+					}
+					if allowed[path] == nil {
+						allowed[path] = map[int]bool{}
+					}
+					allowed[path][fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		if len(funcs) > before {
+			buildPkgs = append(buildPkgs, p.importPath)
+		}
+	}
+	if len(buildPkgs) == 0 {
+		return 0, nil
+	}
+
+	diags, err := compileDiagnostics(dir, buildPkgs)
+	if err != nil {
+		return 0, err
+	}
+
+	canInline := map[string]bool{} // file + "\x00" + name
+	for _, d := range diags {
+		if name, ok := strings.CutPrefix(d.msg, "can inline "); ok {
+			name, _, _ = strings.Cut(name, " ")
+			name = strings.TrimSuffix(name, ":")
+			canInline[d.file+"\x00"+name] = true
+		}
+	}
+
+	violations := 0
+	report := func(file string, line int, rule, format string, args ...any) {
+		rel := file
+		if r, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Fprintf(out, "%s:%d: allocguard(%s): %s\n", rel, line, rule, fmt.Sprintf(format, args...))
+		violations++
+	}
+	// -m=2 often reports the same escape twice ("x escapes to heap" and
+	// "moved to heap: x"); one verdict per line is enough.
+	seen := map[string]bool{}
+	for _, d := range diags {
+		if !strings.Contains(d.msg, "escapes to heap") && !strings.Contains(d.msg, "moved to heap") {
+			continue
+		}
+		key := d.file + "\x00" + strconv.Itoa(d.line)
+		if seen[key] {
+			continue
+		}
+		for _, fn := range funcs {
+			if fn.file == d.file && d.line >= fn.start && d.line <= fn.end && !allowed[d.file][d.line] {
+				seen[key] = true
+				report(d.file, d.line, "heapalloc",
+					"heap allocation in //shsim:noalloc function %s: %s", fn.name, d.msg)
+				break
+			}
+		}
+	}
+	for _, fn := range funcs {
+		if fn.inline && !canInline[fn.file+"\x00"+fn.name] {
+			report(fn.file, fn.start, "inline",
+				"function %s is annotated //shsim:noalloc inline but the compiler reports no \"can inline %s\"",
+				fn.name, fn.name)
+		}
+	}
+	return violations, nil
+}
+
+type listedPackage struct {
+	importPath string
+	dir        string
+	files      []string
+}
+
+func listPackages(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}\x01{{.Dir}}\x01{{range .GoFiles}}{{.}}\x02{{end}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		detail := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			detail = ": " + strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("allocguard: go list %s%s", strings.Join(patterns, " "), detail)
+	}
+	var pkgs []listedPackage
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		parts := strings.Split(line, "\x01")
+		if len(parts) != 3 {
+			continue
+		}
+		p := listedPackage{importPath: parts[0], dir: parts[1]}
+		for _, f := range strings.Split(parts[2], "\x02") {
+			if f != "" {
+				p.files = append(p.files, f)
+			}
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].importPath < pkgs[j].importPath })
+	return pkgs, nil
+}
+
+// annotatedFuncs extracts the //shsim:noalloc declarations of one file.
+func annotatedFuncs(fset *token.FileSet, path, importPath string, f *ast.File) []annotated {
+	var out []annotated
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || fd.Body == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			rest, ok := strings.CutPrefix(c.Text, "//shsim:noalloc")
+			if !ok {
+				continue
+			}
+			out = append(out, annotated{
+				pkg:    importPath,
+				file:   path,
+				name:   compilerName(fd),
+				start:  fset.Position(fd.Pos()).Line,
+				end:    fset.Position(fd.End()).Line,
+				inline: strings.TrimSpace(rest) == "inline",
+			})
+			break
+		}
+	}
+	return out
+}
+
+// compilerName renders a declaration the way -m diagnostics name it:
+// "F", "T.M", or "(*T).M".
+func compilerName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	star := false
+	if se, ok := t.(*ast.StarExpr); ok {
+		star = true
+		t = se.X
+	}
+	base := ""
+	switch t := t.(type) {
+	case *ast.Ident:
+		base = t.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := t.X.(*ast.Ident); ok {
+			base = id.Name
+		}
+	default:
+		base = "?"
+	}
+	if star {
+		return "(*" + base + ")." + fd.Name.Name
+	}
+	return base + "." + fd.Name.Name
+}
+
+type diagnostic struct {
+	file string // absolute
+	line int
+	msg  string
+}
+
+var diagRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// compileDiagnostics recompiles the packages with -m=2 and parses the
+// compiler's position-tagged output.
+func compileDiagnostics(dir string, pkgs []string) ([]diagnostic, error) {
+	args := append([]string{"build", "-gcflags=-m=2"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("allocguard: go build -gcflags=-m=2 failed: %v\n%s", err, out)
+	}
+	var diags []diagnostic
+	for _, line := range strings.Split(string(out), "\n") {
+		m := diagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		diags = append(diags, diagnostic{file: filepath.Clean(file), line: n, msg: m[4]})
+	}
+	return diags, nil
+}

@@ -1,0 +1,145 @@
+package allocguard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a one-package module for the escape gate to
+// compile for real. The gate shells out to the actual go toolchain, so
+// these tests double as a check that the -m=2 parsing keeps up with the
+// installed compiler.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module gatefixture\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runGate(t *testing.T, files map[string]string) (int, string) {
+	t.Helper()
+	dir := writeModule(t, files)
+	var buf strings.Builder
+	n, err := Gate(dir, nil, &buf)
+	if err != nil {
+		t.Fatalf("Gate: %v", err)
+	}
+	return n, buf.String()
+}
+
+func TestGateCatchesEscapes(t *testing.T) {
+	n, out := runGate(t, map[string]string{"hot/hot.go": `package hot
+
+//shsim:noalloc
+func Leak(n int) *int {
+	v := n
+	return &v
+}
+
+type Counter struct{ N int }
+
+//shsim:noalloc
+func (c *Counter) Clone() *Counter {
+	d := *c
+	return &d
+}
+
+// Cold allocates freely; no annotation, no verdict.
+func Cold(n int) *int {
+	v := n
+	return &v
+}
+`})
+	if n != 2 {
+		t.Fatalf("want 2 violations, got %d:\n%s", n, out)
+	}
+	for _, want := range []string{
+		"allocguard(heapalloc)", "Leak", "(*Counter).Clone", "hot/hot.go:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGateInlineContract(t *testing.T) {
+	n, out := runGate(t, map[string]string{"hot/hot.go": `package hot
+
+// Fib is recursive, so the compiler will refuse to inline it.
+//shsim:noalloc inline
+func Fib(n int) int {
+	if n < 2 {
+		return n
+	}
+	return Fib(n-1) + Fib(n-2)
+}
+
+//shsim:noalloc inline
+func Add(a, b int) int { return a + b }
+`})
+	if n != 1 {
+		t.Fatalf("want 1 violation, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "allocguard(inline)") || !strings.Contains(out, "Fib") {
+		t.Errorf("want an inline verdict naming Fib:\n%s", out)
+	}
+	if strings.Contains(out, "Add") {
+		t.Errorf("Add is inlinable and must pass:\n%s", out)
+	}
+}
+
+func TestGateAllocOkSuppresses(t *testing.T) {
+	n, out := runGate(t, map[string]string{"hot/hot.go": `package hot
+
+//shsim:noalloc
+func Grow(n int) []uint64 {
+	out := make([]uint64, n) //shsim:alloc-ok one-time setup buffer, before the loop
+	return out
+}
+`})
+	if n != 0 {
+		t.Fatalf("want reasoned alloc-ok to suppress the escape, got %d:\n%s", n, out)
+	}
+}
+
+func TestGateCleanFunctionPasses(t *testing.T) {
+	n, out := runGate(t, map[string]string{"hot/hot.go": `package hot
+
+//shsim:noalloc
+func Sum(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`})
+	if n != 0 {
+		t.Fatalf("want clean function to pass, got %d:\n%s", n, out)
+	}
+}
+
+func TestGateSkipsUnannotatedPackages(t *testing.T) {
+	// No //shsim:noalloc anywhere: the gate must not even compile.
+	n, out := runGate(t, map[string]string{"cold/cold.go": `package cold
+
+func Alloc(n int) *int {
+	v := n
+	return &v
+}
+`})
+	if n != 0 || out != "" {
+		t.Fatalf("want no verdicts for unannotated module, got %d:\n%s", n, out)
+	}
+}

@@ -1,0 +1,219 @@
+package barrierguard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/tools/analyzers/internal/analyzertest"
+)
+
+// llcSrc is a reduction of mem.SharedLLC / mem.LLCView: a classified
+// shared type with read and mutate methods.
+const llcSrc = `package mem
+
+type SharedLLC struct {
+	tags []uint64
+	log  []uint64
+}
+
+//shsim:llc-read
+func (s *SharedLLC) Contains(ln uint64) bool { return len(s.tags) > 0 }
+
+//shsim:llc-read
+func (s *SharedLLC) Demand(ln uint64) uint64 {
+	s.log = append(s.log, ln)
+	return 10
+}
+
+//shsim:llc-mutate
+func (s *SharedLLC) Commit() {
+	s.tags = append(s.tags, s.log...)
+	s.log = s.log[:0]
+}
+`
+
+// TestMidQuantumMutationCaught is the seeded protocol violation: a
+// quantum-phase root that reaches Commit through a helper, across a
+// package boundary, must be reported with the chain.
+func TestMidQuantumMutationCaught(t *testing.T) {
+	p := analyzertest.NewProject(nil)
+	if diags := p.Check(t, "repro/internal/mem", map[string]string{"llc.go": llcSrc}, Analyzer); len(diags) != 0 {
+		t.Fatalf("classified type is clean, got %v", analyzertest.Messages(diags))
+	}
+
+	diags := p.Check(t, "repro/internal/machine", map[string]string{
+		"kernel.go": `package machine
+
+import "repro/internal/mem"
+
+type core struct{ llc *mem.SharedLLC }
+
+// flush sneaks a commit into the quantum path.
+func (c *core) flush() { c.llc.Commit() }
+
+//shsim:quantum-phase
+func (c *core) loop() {
+	_ = c.llc.Demand(1)
+	c.flush()
+}
+
+//shsim:commit-phase
+func (c *core) barrier() { c.llc.Commit() }
+`}, Analyzer)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic, got %v", analyzertest.Messages(diags))
+	}
+	d := diags[0]
+	if d.Rule != "quantum-mutate" {
+		t.Errorf("want rule quantum-mutate, got %q", d.Rule)
+	}
+	for _, want := range []string{"(*core).loop", "(*core).flush", "Commit", "barrier"} {
+		if want == "barrier" {
+			if strings.Contains(d.Message, "(*core).barrier") {
+				t.Errorf("commit-phase code must not be reported: %s", d.Message)
+			}
+			continue
+		}
+		if !strings.Contains(d.Message, want) {
+			t.Errorf("diagnostic missing %q: %s", want, d.Message)
+		}
+	}
+}
+
+// TestReadOnlyQuantumPathClean: the sanctioned shape — quantum code
+// probing committed state through read-annotated methods — reports
+// nothing.
+func TestReadOnlyQuantumPathClean(t *testing.T) {
+	p := analyzertest.NewProject(nil)
+	p.Check(t, "repro/internal/mem", map[string]string{"llc.go": llcSrc}, Analyzer)
+	diags := p.Check(t, "repro/internal/machine", map[string]string{
+		"kernel.go": `package machine
+
+import "repro/internal/mem"
+
+type core struct{ llc *mem.SharedLLC }
+
+//shsim:quantum-phase
+func (c *core) loop() {
+	if c.llc.Contains(1) {
+		_ = c.llc.Demand(1)
+	}
+}
+
+//shsim:commit-phase
+func (c *core) barrier() { c.llc.Commit() }
+`}, Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("read-only quantum path should be clean, got %v", analyzertest.Messages(diags))
+	}
+}
+
+// TestUnclassifiedMethodClosure: once a type has one classified method,
+// an unannotated method is reported where it is declared AND treated as
+// mutating at its call sites.
+func TestUnclassifiedMethodClosure(t *testing.T) {
+	p := analyzertest.NewProject(nil)
+	diags := p.Check(t, "repro/internal/mem", map[string]string{
+		"llc.go": llcSrc + `
+// Evict is the defect: a new method on the shared type with no
+// classification.
+func (s *SharedLLC) Evict(ln uint64) { s.tags = s.tags[:0] }
+`}, Analyzer)
+	if len(diags) != 1 || diags[0].Rule != "unclassified" {
+		t.Fatalf("want one unclassified diagnostic, got %v", analyzertest.Messages(diags))
+	}
+
+	diags = p.Check(t, "repro/internal/machine", map[string]string{
+		"kernel.go": `package machine
+
+import "repro/internal/mem"
+
+//shsim:quantum-phase
+func loop(s *mem.SharedLLC) { s.Evict(1) }
+`}, Analyzer)
+	if len(diags) != 1 || diags[0].Rule != "quantum-mutate" {
+		t.Fatalf("want quantum-mutate for unclassified callee, got %v", analyzertest.Messages(diags))
+	}
+	if !strings.Contains(diags[0].Message, "unclassified") {
+		t.Errorf("diagnostic should say the callee is unclassified: %s", diags[0].Message)
+	}
+}
+
+func TestConflictingAnnotations(t *testing.T) {
+	diags := analyzertest.Check(t, "repro/internal/mem", map[string]string{
+		"llc.go": `package mem
+
+type S struct{}
+
+//shsim:llc-read
+//shsim:llc-mutate
+func (s *S) M() {}
+
+//shsim:quantum-phase
+//shsim:commit-phase
+func both() {}
+`}, nil, Analyzer)
+	// A conflicted method also fails classification, so it additionally
+	// draws the unclassified finding; what matters is one conflict per
+	// conflicted declaration.
+	var conflicts int
+	for _, d := range diags {
+		switch d.Rule {
+		case "conflict":
+			conflicts++
+		case "unclassified":
+		default:
+			t.Errorf("unexpected rule %q (%s)", d.Rule, d.Message)
+		}
+	}
+	if conflicts != 2 {
+		t.Fatalf("want 2 conflict diagnostics, got %v", analyzertest.Messages(diags))
+	}
+}
+
+func TestMisplacedAnnotations(t *testing.T) {
+	diags := analyzertest.Check(t, "repro/internal/mem", map[string]string{
+		"llc.go": `package mem
+
+//shsim:llc-read
+var state int
+
+//shsim:llc-mutate
+func free() {}
+`}, nil, Analyzer)
+	// Detached directive on a var, and a read/mutate classification on a
+	// receiverless function: both are hygiene findings.
+	if len(diags) != 2 {
+		t.Fatalf("want 2 misplaced diagnostics, got %v", analyzertest.Messages(diags))
+	}
+	for _, d := range diags {
+		if d.Rule != "misplaced" {
+			t.Errorf("want rule misplaced, got %q (%s)", d.Rule, d.Message)
+		}
+	}
+}
+
+// TestMutateBelowCommitPhaseClean: the barrier's own helpers may
+// mutate; commit-phase stops propagation so kernel-side code above the
+// barrier is not tainted either.
+func TestMutateBelowCommitPhaseClean(t *testing.T) {
+	p := analyzertest.NewProject(nil)
+	p.Check(t, "repro/internal/mem", map[string]string{"llc.go": llcSrc}, Analyzer)
+	diags := p.Check(t, "repro/internal/machine", map[string]string{
+		"kernel.go": `package machine
+
+import "repro/internal/mem"
+
+type machine struct{ llc *mem.SharedLLC }
+
+//shsim:commit-phase
+func (m *machine) step() { m.llc.Commit() }
+
+// run is kernel-side orchestration above the barrier: calling the
+// commit-phase step is legal and propagates nothing.
+func (m *machine) run() { m.step() }
+`}, Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("commit-phase must stop propagation, got %v", analyzertest.Messages(diags))
+	}
+}

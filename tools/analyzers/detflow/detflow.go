@@ -1,0 +1,248 @@
+// Package detflow proves, interprocedurally, that the cycle domain
+// cannot observe a nondeterminism source. detlint bans the dangerous
+// constructs lexically inside cycle-domain packages; detflow closes
+// the remaining hole — a cycle-domain step loop calling an innocent-
+// looking helper in a non-cycle package that ranges over a map three
+// frames down. The PR-1 reclaim bug wore exactly that disguise in its
+// fixture form: the map iteration sat behind a wrapper, outside the
+// lexical ban, and still decided eviction order.
+//
+// # Model
+//
+// Entry points are the functions annotated `//shsim:cycle-entry` — the
+// exec/smt/machine/service step loops and the runner's per-job cell
+// executor. For every function in every in-module package, detflow
+// computes whether it transitively reaches one of the sources below,
+// exporting the result as a framework fact so the analysis composes
+// across packages (facts flow bottom-up: the package defining the
+// helper is analyzed before the package whose entry point calls it).
+// An entry point that reaches a source is reported with the full call
+// chain and the originating construct, attributed to one of the rules:
+//
+//	wallclock   time.Now / time.Since / time.Until
+//	globalrand  package-level math/rand and math/rand/v2 functions
+//	            (the process-seeded global source; methods on an
+//	            explicitly seeded *rand.Rand are fine)
+//	maprange    range over a map (iteration order is per-run random;
+//	            also covers "harvest map keys then use unsorted")
+//	select      select with two or more communication cases (the
+//	            runtime picks among ready cases pseudo-randomly)
+//	addrformat  fmt verbs rendering addresses (%p) — output depends
+//	            on allocator placement
+//	addrvalue   uintptr conversion of a pointer — address-dependent
+//	            arithmetic, ordering, or hashing
+//	mapkeys     reflect.Value.MapKeys (map order again)
+//
+// Indirect calls (function values, interface methods) contribute no
+// edges; detlint's lexical ban inside the cycle-domain packages is the
+// backstop for those. See tools/analyzers/internal/flow.
+//
+// # Suppression
+//
+// `//shsim:nondeterministic-ok <reason>` on a function declaration
+// excludes that function (body and callees) from taint propagation.
+// The reason is mandatory — an unexplained suppression is itself a
+// finding (rule "suppression") — and is the written record reviewers
+// audit instead of the code.
+package detflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/tools/analyzers/framework"
+	"repro/tools/analyzers/internal/flow"
+)
+
+// FactKind is the fact table detflow exports: object key (function) →
+// encoded flow.Taint the function transitively reaches.
+const FactKind = "detflow.taint"
+
+// Directives recognized by detflow.
+const (
+	DirEntry    = "cycle-entry"
+	DirSuppress = "nondeterministic-ok"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "detflow",
+	Doc: "interprocedural proof that cycle-domain entry points reach no nondeterminism source\n\n" +
+		"Functions annotated //shsim:cycle-entry (step loops, runner cells) must not transitively call " +
+		"wall clocks, the global rand source, map iteration, multi-case selects, or address-dependent " +
+		"formatting, across package boundaries via exported facts.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	g := flow.BuildGraph(pass)
+
+	// Directive hygiene: a detached annotation enforces nothing.
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, d := range flow.Misplaced(file, DirEntry, DirSuppress) {
+			pass.ReportRule(d.Pos, "misplaced",
+				"//shsim:%s must be the doc comment of a function declaration", d.Name)
+		}
+	}
+
+	// Local sources per function, plus suppression marking.
+	local := map[*types.Func][]flow.Taint{}
+	suppressed := map[*types.Func]bool{}
+	for _, fn := range g.Funcs {
+		fd := g.Decl[fn]
+		if d, ok := flow.FuncDirective(fd, DirSuppress); ok {
+			if d.Arg == "" {
+				pass.ReportRule(d.Pos, "suppression",
+					"//shsim:nondeterministic-ok requires a written reason")
+			} else {
+				suppressed[fn] = true
+			}
+		}
+		local[fn] = scanBody(pass, fd)
+	}
+
+	taints := flow.Propagate(g, local,
+		func(callee *types.Func) (flow.Taint, bool) {
+			if t, ok := intrinsic(callee); ok {
+				return t, true
+			}
+			if v, ok := pass.Facts.LookupFunc(FactKind, callee); ok {
+				if t, ok := flow.DecodeTaint(v); ok {
+					return t, true
+				}
+			}
+			return flow.Taint{}, false
+		},
+		func(fn *types.Func) bool { return suppressed[fn] })
+
+	// Export every function's taint for dependent packages, and report
+	// at the annotated entry points.
+	for _, fn := range g.Funcs {
+		t, tainted := taints[fn]
+		if tainted {
+			pass.Facts.Export(FactKind, framework.ObjectKey(fn), t.Encode())
+		}
+		fd := g.Decl[fn]
+		if _, isEntry := flow.FuncDirective(fd, DirEntry); !isEntry {
+			continue
+		}
+		if tainted {
+			pass.ReportRule(fd.Name.Pos(), t.Rule,
+				"cycle-domain entry %s reaches a nondeterminism source: %s (via %s)",
+				flow.FuncName(fn), t.Detail, t.Chain)
+		}
+	}
+	return nil
+}
+
+// scanBody collects the nondeterminism sources a function body contains
+// directly, in source order.
+func scanBody(pass *framework.Pass, fd *ast.FuncDecl) []flow.Taint {
+	var out []flow.Taint
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					out = append(out, flow.Taint{Rule: "maprange",
+						Detail: "range over map (iteration order is randomized per run)"})
+				}
+			}
+		case *ast.SelectStmt:
+			cases := 0
+			for _, cc := range n.Body.List {
+				if cl, ok := cc.(*ast.CommClause); ok && cl.Comm != nil {
+					cases++
+				}
+			}
+			if cases >= 2 {
+				out = append(out, flow.Taint{Rule: "select",
+					Detail: "select with multiple communication cases (runtime picks among ready cases pseudo-randomly)"})
+			}
+		case *ast.CallExpr:
+			out = append(out, scanCall(info, n)...)
+		}
+		return true
+	})
+	return out
+}
+
+// scanCall classifies one call expression's direct sources: intrinsic
+// callees and address-formatting arguments.
+func scanCall(info *types.Info, call *ast.CallExpr) []flow.Taint {
+	var out []flow.Taint
+	// uintptr(ptr) conversion: the callee of a conversion is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.Uintptr {
+			if at := info.TypeOf(call.Args[0]); at != nil && pointerLike(at) {
+				out = append(out, flow.Taint{Rule: "addrvalue",
+					Detail: "uintptr conversion of a pointer (address-dependent value)"})
+			}
+		}
+		return out
+	}
+	callee := flow.Callee(info, call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		for _, arg := range call.Args {
+			if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				// %%p is a literal "%p", not a verb.
+				if strings.Contains(strings.ReplaceAll(constant.StringVal(tv.Value), "%%", ""), "%p") {
+					out = append(out, flow.Taint{Rule: "addrformat",
+						Detail: "fmt call formatting an address with %p"})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func pointerLike(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// intrinsic classifies callees whose nondeterminism is modeled rather
+// than derived: the standard library is never analyzed for facts.
+func intrinsic(fn *types.Func) (flow.Taint, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return flow.Taint{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	switch pkg.Path() {
+	case "time":
+		if recv == nil {
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				return flow.Taint{Rule: "wallclock", Chain: "time." + fn.Name(),
+					Detail: "wall-clock read time." + fn.Name()}, true
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level functions draw from the process-seeded global
+		// source; methods on an explicitly seeded *rand.Rand are fine.
+		if recv == nil && fn.Name() != "New" && fn.Name() != "NewSource" &&
+			fn.Name() != "NewPCG" && fn.Name() != "NewChaCha8" && fn.Name() != "NewZipf" {
+			return flow.Taint{Rule: "globalrand", Chain: "rand." + fn.Name(),
+				Detail: "global math/rand source rand." + fn.Name()}, true
+		}
+	case "reflect":
+		if recv != nil && fn.Name() == "MapKeys" {
+			return flow.Taint{Rule: "mapkeys", Chain: "reflect.Value.MapKeys",
+				Detail: "reflect.Value.MapKeys (map iteration order)"}, true
+		}
+	}
+	return flow.Taint{}, false
+}

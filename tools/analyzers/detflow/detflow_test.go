@@ -1,0 +1,303 @@
+package detflow
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/tools/analyzers/internal/analyzertest"
+)
+
+func deps() map[string]*types.Package {
+	return map[string]*types.Package{
+		"time":      analyzertest.Time(),
+		"math/rand": analyzertest.Rand(),
+		"fmt":       analyzertest.Fmt(),
+		"reflect":   analyzertest.Reflect(),
+	}
+}
+
+// TestReclaimBugCaughtInterprocedurally is the PR-1 reclaim bug in its
+// disguised form: the map iteration lives in a helper package outside
+// the cycle domain (where detlint's lexical ban does not apply), behind
+// a wrapper, and still decides install order. detflow must carry the
+// taint across both package boundary and wrapper to the annotated
+// entry point, with the full call chain in the diagnostic.
+func TestReclaimBugCaughtInterprocedurally(t *testing.T) {
+	p := analyzertest.NewProject(deps())
+
+	// The helper package: not a cycle-domain package name, so detlint
+	// never looks at it.
+	diags := p.Check(t, "repro/internal/fillutil", map[string]string{
+		"ready.go": `package fillutil
+
+// Ready harvests the completed fills. BUG: map iteration order decides
+// the result order.
+func Ready(fills map[uint64]uint64, now uint64) []uint64 {
+	var out []uint64
+	for line, ready := range fills {
+		if ready <= now {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+`}, Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("helper package has no entry points, want no diagnostics, got %v",
+			analyzertest.Messages(diags))
+	}
+
+	diags = p.Check(t, "repro/internal/mem", map[string]string{
+		"reclaim.go": `package mem
+
+import "repro/internal/fillutil"
+
+type hierarchy struct {
+	fills    map[uint64]uint64
+	installs []uint64
+}
+
+// harvest wraps the helper — one more frame between the entry point
+// and the source.
+func (h *hierarchy) harvest(now uint64) []uint64 {
+	return fillutil.Ready(h.fills, now)
+}
+
+//shsim:cycle-entry
+func (h *hierarchy) reclaim(now uint64) {
+	h.installs = append(h.installs, h.harvest(now)...)
+}
+`}, Analyzer)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic, got %v", analyzertest.Messages(diags))
+	}
+	d := diags[0]
+	if d.Rule != "maprange" {
+		t.Errorf("want rule maprange, got %q", d.Rule)
+	}
+	for _, want := range []string{"(*hierarchy).reclaim", "(*hierarchy).harvest", "Ready", "range over map"} {
+		if !strings.Contains(d.Message, want) {
+			t.Errorf("diagnostic missing %q: %s", want, d.Message)
+		}
+	}
+}
+
+// TestIntrinsicSourcesAttributed seeds one defect per intrinsic rule
+// and checks each is caught at the entry with the right attribution.
+func TestIntrinsicSourcesAttributed(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		rule string
+	}{
+		{"wallclock", `func helper() { _ = time.Now() }`, "wallclock"},
+		{"globalrand", `func helper() { _ = rand.Intn(8) }`, "globalrand"},
+		{"mapkeys", `func helper() { _ = reflect.ValueOf(0).MapKeys() }`, "mapkeys"},
+		{"addrformat", `func helper() { _ = fmt.Sprintf("%p", nil) }`, "addrformat"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := `package exec
+
+import (
+	"time"
+	"math/rand"
+	"fmt"
+	"reflect"
+)
+
+var _ = time.Now
+var _ = rand.Intn
+var _ = fmt.Sprintf
+var _ = reflect.ValueOf
+
+` + tc.body + `
+
+//shsim:cycle-entry
+func step() { helper() }
+`
+			diags := analyzertest.Check(t, "repro/internal/exec",
+				map[string]string{"step.go": src}, deps(), Analyzer)
+			if len(diags) != 1 {
+				t.Fatalf("want 1 diagnostic, got %v", analyzertest.Messages(diags))
+			}
+			if diags[0].Rule != tc.rule {
+				t.Errorf("want rule %q, got %q (%s)", tc.rule, diags[0].Rule, diags[0].Message)
+			}
+			if !strings.Contains(diags[0].Message, "step → helper") {
+				t.Errorf("chain missing from %q", diags[0].Message)
+			}
+		})
+	}
+}
+
+func TestStructuralSources(t *testing.T) {
+	src := `package smt
+
+func pickReady(a, b chan int) int {
+	select { // multi-case select: runtime picks among ready cases
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func addrOf(p *int) uintptr {
+	return uintptr(unsafePtr(p))
+}
+
+func unsafePtr(p *int) uintptr { return uintptr(unsafePointerOf(p)) }
+
+//shsim:cycle-entry
+func stepSelect(a, b chan int) int { return pickReady(a, b) }
+
+//shsim:cycle-entry
+func stepAddr(p *int) uintptr { return addrOf(p) }
+`
+	// unsafePointerOf needs unsafe; declare it in a second file.
+	unsafeSrc := `package smt
+
+import "unsafe"
+
+func unsafePointerOf(p *int) unsafe.Pointer { return unsafe.Pointer(p) }
+`
+	diags := analyzertest.Check(t, "repro/internal/smt",
+		map[string]string{"step.go": src, "unsafe.go": unsafeSrc}, deps(), Analyzer)
+	rules := map[string]bool{}
+	for _, d := range diags {
+		rules[d.Rule] = true
+	}
+	if len(diags) != 2 || !rules["select"] || !rules["addrvalue"] {
+		t.Fatalf("want one select and one addrvalue diagnostic, got %v",
+			analyzertest.Messages(diags))
+	}
+}
+
+func TestSingleReadyChannelNotFlagged(t *testing.T) {
+	src := `package exec
+
+//shsim:cycle-entry
+func step(a chan int) int {
+	select { // single communication case: deterministic
+	case v := <-a:
+		return v
+	}
+}
+`
+	diags := analyzertest.Check(t, "repro/internal/exec",
+		map[string]string{"step.go": src}, deps(), Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics for single-case select, got %v",
+			analyzertest.Messages(diags))
+	}
+}
+
+// TestSuppressionStopsPropagation: a //shsim:nondeterministic-ok with a
+// written reason licenses the function and everything below it.
+func TestSuppressionStopsPropagation(t *testing.T) {
+	src := `package exec
+
+import "time"
+
+//shsim:nondeterministic-ok host telemetry only; never feeds simulated state
+func wallTelemetry() time.Time { return time.Now() }
+
+//shsim:cycle-entry
+func step() { _ = wallTelemetry() }
+`
+	diags := analyzertest.Check(t, "repro/internal/exec",
+		map[string]string{"step.go": src}, deps(), Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("want suppression to license the subtree, got %v",
+			analyzertest.Messages(diags))
+	}
+}
+
+func TestReasonlessSuppressionIsAFinding(t *testing.T) {
+	src := `package exec
+
+import "time"
+
+//shsim:nondeterministic-ok
+func wallTelemetry() time.Time { return time.Now() }
+
+//shsim:cycle-entry
+func step() { _ = wallTelemetry() }
+`
+	diags := analyzertest.Check(t, "repro/internal/exec",
+		map[string]string{"step.go": src}, deps(), Analyzer)
+	// The empty suppression is itself reported AND does not license the
+	// subtree, so the wallclock taint still reaches the entry.
+	rules := map[string]bool{}
+	for _, d := range diags {
+		rules[d.Rule] = true
+	}
+	if len(diags) != 2 || !rules["suppression"] || !rules["wallclock"] {
+		t.Fatalf("want suppression + wallclock diagnostics, got %v",
+			analyzertest.Messages(diags))
+	}
+}
+
+func TestMisplacedDirective(t *testing.T) {
+	src := `package exec
+
+//shsim:cycle-entry
+var notAFunction int
+
+func step() {}
+`
+	diags := analyzertest.Check(t, "repro/internal/exec",
+		map[string]string{"step.go": src}, deps(), Analyzer)
+	if len(diags) != 1 || diags[0].Rule != "misplaced" {
+		t.Fatalf("want one misplaced diagnostic, got %v", analyzertest.Messages(diags))
+	}
+}
+
+// TestSeededRandNotFlagged: methods on an explicitly seeded source are
+// the sanctioned randomness; only the package-level global source is a
+// taint.
+func TestSeededRandNotFlagged(t *testing.T) {
+	src := `package exec
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s
+}
+
+//shsim:cycle-entry
+func step(r *rng) uint64 { return r.next() }
+`
+	diags := analyzertest.Check(t, "repro/internal/exec",
+		map[string]string{"step.go": src}, deps(), Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics for threaded seeded rng, got %v",
+			analyzertest.Messages(diags))
+	}
+}
+
+// TestFactExportCoversNonEntryFunctions: the helper package exports
+// taints for its tainted functions even though it reports nothing — the
+// dependent package's report depends on it.
+func TestFactExportCoversNonEntryFunctions(t *testing.T) {
+	p := analyzertest.NewProject(deps())
+	p.Check(t, "repro/internal/util", map[string]string{
+		"util.go": `package util
+
+import "time"
+
+func Stamp() int64 { return now() }
+
+func now() int64 { return int64(nowTime()) }
+
+func nowTime() uint64 { _ = time.Now(); return 0 }
+`}, Analyzer)
+	for _, fn := range []string{"repro/internal/util.Stamp", "repro/internal/util.now", "repro/internal/util.nowTime"} {
+		if _, ok := p.Facts().Lookup(FactKind, fn); !ok {
+			t.Errorf("no exported taint fact for %s", fn)
+		}
+	}
+}

@@ -23,13 +23,21 @@
 //   - importing math/rand or math/rand/v2: the global source is seeded
 //     per process. Randomness must come from the scenario's explicitly
 //     seeded generator, threaded in by the caller.
+//   - address-dependent values: a %p fmt verb, reflect.Value.MapKeys,
+//     or sorting a slice of pointers (the classic "harvest map keys,
+//     sort them" pattern with pointer keys orders by allocation
+//     address — stable within a run, different across runs).
 //
 // Test files are exempt: tests may time themselves and build throwaway
 // maps without affecting simulation results.
+//
+// Diagnostics are rule-attributed: randimport, maprange, wallclock,
+// addrformat, mapkeys, ptrsort.
 package detlint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 	"path"
 	"path/filepath"
@@ -40,7 +48,7 @@ import (
 
 var Analyzer = &framework.Analyzer{
 	Name: "detlint",
-	Doc: "forbid nondeterminism sources (map iteration, wall clocks, global rand) in cycle-domain packages\n\n" +
+	Doc: "forbid nondeterminism sources (map iteration, wall clocks, global rand, address-dependent values) in cycle-domain packages\n\n" +
 		"Applies to packages under internal/ whose name is one of mem, cpu, exec, smt, sched, pebs, machine, service, " +
 		"plus individually listed cycle-adjacent files (internal/bincfg/{blockplan,superblock}.go).",
 	Run: run,
@@ -122,7 +130,7 @@ func checkFile(pass *framework.Pass, file *ast.File) {
 	for _, imp := range file.Imports {
 		path := strings.Trim(imp.Path.Value, `"`)
 		if path == "math/rand" || path == "math/rand/v2" {
-			pass.Reportf(imp.Pos(),
+			pass.ReportRule(imp.Pos(), "randimport",
 				"import of %s in cycle-domain package: the global source is process-seeded; thread the scenario's seeded rng instead", path)
 		}
 	}
@@ -134,17 +142,72 @@ func checkFile(pass *framework.Pass, file *ast.File) {
 				return true
 			}
 			if _, ok := t.Underlying().(*types.Map); ok {
-				pass.Reportf(n.Pos(),
+				pass.ReportRule(n.Pos(), "maprange",
 					"range over map in cycle-domain package: iteration order is randomized per run; iterate a sorted slice instead")
 			}
 		case *ast.SelectorExpr:
 			if obj := timeFunc(pass.TypesInfo, n); obj != "" {
-				pass.Reportf(n.Pos(),
+				pass.ReportRule(n.Pos(), "wallclock",
 					"call of time.%s in cycle-domain package: wall-clock reads are nondeterministic; use simulated cycles", obj)
 			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
 		}
 		return true
 	})
+}
+
+// checkCall applies the address-dependence rules to one call: %p format
+// verbs, reflect.Value.MapKeys, and pointer-keyed sorts.
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if sel == nil {
+		return
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		for _, arg := range call.Args {
+			tv, ok := info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				continue
+			}
+			// %%p is a literal "%p", not a verb.
+			if strings.Contains(strings.ReplaceAll(constant.StringVal(tv.Value), "%%", ""), "%p") {
+				pass.ReportRule(arg.Pos(), "addrformat",
+					"%%p verb in cycle-domain package: formatted addresses differ across runs with identical seeds")
+				return
+			}
+		}
+	case "reflect":
+		if fn.Name() == "MapKeys" && fn.Type().(*types.Signature).Recv() != nil {
+			pass.ReportRule(call.Pos(), "mapkeys",
+				"reflect.Value.MapKeys in cycle-domain package: key order is map iteration order, randomized per run")
+		}
+	case "sort":
+		if fn.Name() != "Slice" && fn.Name() != "SliceStable" {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		t := info.TypeOf(call.Args[0])
+		if t == nil {
+			return
+		}
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return
+		}
+		if _, ok := sl.Elem().Underlying().(*types.Pointer); ok {
+			pass.ReportRule(call.Pos(), "ptrsort",
+				"sort.%s over a slice of pointers in cycle-domain package: comparing harvested pointer keys orders by allocation address; sort by a stable field instead", fn.Name())
+		}
+	}
 }
 
 // timeFunc reports the name of the forbidden time-package function a

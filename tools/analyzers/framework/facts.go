@@ -1,0 +1,155 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"os"
+	"sort"
+)
+
+// A FactSet is the cross-package side channel of an analysis run. When
+// the go command vets package P it first vets P's dependencies in
+// "facts only" mode (vet.cfg VetxOnly=true), hands P the dependencies'
+// fact files (vet.cfg PackageVetx), and stores P's own fact file
+// (vet.cfg VetxOutput) for P's dependents. Analyzers use this to make
+// whole-program arguments out of per-package passes: detflow exports
+// "this function transitively reaches time.Now" from the package that
+// defines the function, and the package that contains the cycle-domain
+// entry point turns the imported fact into a diagnostic.
+//
+// Facts are triples (kind, object key, value): kind namespaces one
+// logical table per analyzer concern ("detflow.taint",
+// "barrierguard.llc", ...), the object key names a program object —
+// use ObjectKey for functions — and the value is an analyzer-defined
+// string (most encode "rule|chain|detail"). The serialization is JSON
+// with sorted keys, so fact files are deterministic and the go
+// command's content-addressed cache works.
+//
+// Exported facts include the imported ones (re-export): the go command
+// only guarantees the fact files of direct dependencies, so re-export
+// is what makes facts flow transitively.
+type FactSet struct {
+	imported map[string]map[string]string // kind -> object key -> value
+	exported map[string]map[string]string
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{
+		imported: map[string]map[string]string{},
+		exported: map[string]map[string]string{},
+	}
+}
+
+// ObjectKey names a function or method across package boundaries:
+// "repro/internal/mem.NewSharedLLC" for package-level functions,
+// "(*repro/internal/mem.SharedLLC).Commit" for methods. It is
+// types.Func.FullName, pinned here as the fact-key contract.
+func ObjectKey(fn *types.Func) string { return fn.FullName() }
+
+// Export records a fact, overwriting any previous value for the same
+// (kind, key).
+func (f *FactSet) Export(kind, key, value string) {
+	m := f.exported[kind]
+	if m == nil {
+		m = map[string]string{}
+		f.exported[kind] = m
+	}
+	m[key] = value
+}
+
+// Lookup returns the fact for (kind, key), preferring facts exported
+// during this pass over imported ones.
+func (f *FactSet) Lookup(kind, key string) (string, bool) {
+	if v, ok := f.exported[kind][key]; ok {
+		return v, true
+	}
+	v, ok := f.imported[kind][key]
+	return v, ok
+}
+
+// Keys returns the keys of every fact of the given kind (imported and
+// exported), sorted.
+func (f *FactSet) Keys(kind string) []string {
+	seen := map[string]bool{}
+	for k := range f.imported[kind] {
+		seen[k] = true
+	}
+	for k := range f.exported[kind] {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encode serializes the full fact set (imported ∪ exported) for a
+// VetxOutput file.
+func (f *FactSet) Encode() ([]byte, error) {
+	merged := map[string]map[string]string{}
+	for kind, m := range f.imported {
+		for k, v := range m {
+			if merged[kind] == nil {
+				merged[kind] = map[string]string{}
+			}
+			merged[kind][k] = v
+		}
+	}
+	for kind, m := range f.exported {
+		for k, v := range m {
+			if merged[kind] == nil {
+				merged[kind] = map[string]string{}
+			}
+			merged[kind][k] = v
+		}
+	}
+	return json.Marshal(merged) // encoding/json sorts map keys: deterministic
+}
+
+// Merge folds a serialized fact set into the imported facts. Empty
+// input is a valid empty fact file (pre-fact vetx files were empty).
+func (f *FactSet) Merge(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var decoded map[string]map[string]string
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		return fmt.Errorf("decoding fact file: %w", err)
+	}
+	for kind, m := range decoded {
+		for k, v := range m {
+			if f.imported[kind] == nil {
+				f.imported[kind] = map[string]string{}
+			}
+			f.imported[kind][k] = v
+		}
+	}
+	return nil
+}
+
+// MergeFile folds one dependency's vetx fact file into the imported
+// facts. Missing files are treated as empty: the go command omits or
+// truncates fact files for packages whose vet run exported nothing.
+func (f *FactSet) MergeFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if err := f.Merge(data); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// LookupFunc resolves a function to its fact by canonical object key.
+// Convenience shared by the interprocedural analyzers.
+func (f *FactSet) LookupFunc(kind string, fn *types.Func) (string, bool) {
+	return f.Lookup(kind, ObjectKey(fn))
+}

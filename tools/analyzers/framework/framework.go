@@ -37,11 +37,16 @@ type Pass struct {
 	Pkg        *types.Package
 	TypesInfo  *types.Info
 	ImportPath string
+	// Facts carries cross-package analysis results: facts exported by
+	// the passes over this package's dependencies are visible here, and
+	// facts exported here become visible to dependents (see facts.go).
+	// Never nil.
+	Facts *FactSet
 
 	report func(Diagnostic)
 }
 
-// Reportf records one finding at pos.
+// Reportf records one finding at pos with no rule attribution.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
@@ -50,18 +55,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one finding: which analyzer, where, and why.
+// ReportRule records one finding attributed to a named rule of the
+// analyzer. Rendered as "analyzer(rule): message", and carried
+// structurally in -json output, so fixture tests can assert that a
+// seeded defect was caught by the right rule.
+func (p *Pass) ReportRule(pos token.Pos, rule, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Rule:     rule,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: which analyzer, which of its rules, where,
+// and why.
 type Diagnostic struct {
 	Analyzer string
+	Rule     string // "" when the analyzer has a single implicit rule
 	Pos      token.Pos
 	Message  string
 }
 
+// String renders the diagnostic message with its attribution prefix
+// (position excluded — the caller owns position formatting).
+func (d Diagnostic) String() string {
+	if d.Rule == "" {
+		return d.Message
+	}
+	return fmt.Sprintf("%s(%s): %s", d.Analyzer, d.Rule, d.Message)
+}
+
 // Analyze runs every analyzer over one type-checked package and
 // returns the findings sorted by position. It is the shared core of
-// the unitchecker entry point and the in-process tests.
+// the unitchecker entry point and the in-process tests. facts may be
+// nil when no cross-package facts are in play (single-package tests).
 func Analyze(importPath string, fset *token.FileSet, files []*ast.File,
-	pkg *types.Package, info *types.Info, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	pkg *types.Package, info *types.Info, facts *FactSet, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactSet()
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -71,6 +104,7 @@ func Analyze(importPath string, fset *token.FileSet, files []*ast.File,
 			Pkg:        pkg,
 			TypesInfo:  info,
 			ImportPath: importPath,
+			Facts:      facts,
 			report:     func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {

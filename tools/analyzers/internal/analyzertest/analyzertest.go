@@ -4,6 +4,12 @@
 // offline: go/importer cannot load real export data for "time" or
 // "math/rand" without invoking the build system, and the fixtures only
 // need the handful of names the analyzers match on.
+//
+// For interprocedural analyzers, a Project threads one FactSet through
+// a sequence of fixture packages checked in dependency order: facts
+// exported while checking package A are visible when checking a later
+// package that imports A, exactly as the unitchecker feeds dependency
+// vetx files to dependent units.
 package analyzertest
 
 import (
@@ -18,13 +24,39 @@ import (
 	"repro/tools/analyzers/framework"
 )
 
+// Project accumulates type-checked fixture packages and the facts the
+// analyzers exported over them.
+type Project struct {
+	fset  *token.FileSet
+	deps  map[string]*types.Package
+	facts *framework.FactSet
+}
+
+// NewProject starts a fixture project whose packages may import the
+// given stub dependencies (and, transitively, each other).
+func NewProject(deps map[string]*types.Package) *Project {
+	all := map[string]*types.Package{"unsafe": types.Unsafe}
+	for path, pkg := range deps {
+		all[path] = pkg
+	}
+	return &Project{
+		fset:  token.NewFileSet(),
+		deps:  all,
+		facts: framework.NewFactSet(),
+	}
+}
+
+// Facts exposes the project's accumulated fact set for assertions.
+func (p *Project) Facts() *framework.FactSet { return p.facts }
+
 // Check parses and type-checks the given files (name → source) as one
-// package with the given import path, resolving imports from deps, and
-// returns the diagnostics of the analyzers in positional order.
-func Check(t *testing.T, importPath string, files map[string]string,
-	deps map[string]*types.Package, analyzers ...*framework.Analyzer) []framework.Diagnostic {
+// package with the given import path, resolving imports from the
+// project's packages, runs the analyzers with the accumulated facts,
+// registers the package for later fixtures to import, and returns the
+// diagnostics in positional order.
+func (p *Project) Check(t *testing.T, importPath string, files map[string]string,
+	analyzers ...*framework.Analyzer) []framework.Diagnostic {
 	t.Helper()
-	fset := token.NewFileSet()
 	names := make([]string, 0, len(files))
 	for name := range files {
 		names = append(names, name)
@@ -32,28 +64,37 @@ func Check(t *testing.T, importPath string, files map[string]string,
 	sort.Strings(names)
 	var parsed []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(fset, name, files[name], parser.SkipObjectResolution)
+		f, err := parser.ParseFile(p.fset, name, files[name], parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			t.Fatalf("parsing %s: %v", name, err)
 		}
 		parsed = append(parsed, f)
 	}
-	conf := &types.Config{Importer: mapImporter(deps)}
+	conf := &types.Config{Importer: mapImporter(p.deps)}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	pkg, err := conf.Check(importPath, fset, parsed, info)
+	pkg, err := conf.Check(importPath, p.fset, parsed, info)
 	if err != nil {
 		t.Fatalf("typechecking fixture %s: %v", importPath, err)
 	}
-	diags, err := framework.Analyze(importPath, fset, parsed, pkg, info, analyzers...)
+	diags, err := framework.Analyze(importPath, p.fset, parsed, pkg, info, p.facts, analyzers...)
 	if err != nil {
 		t.Fatalf("analyzing fixture %s: %v", importPath, err)
 	}
+	p.deps[importPath] = pkg
 	return diags
+}
+
+// Check is the single-package convenience: one fixture package, no
+// cross-package facts.
+func Check(t *testing.T, importPath string, files map[string]string,
+	deps map[string]*types.Package, analyzers ...*framework.Analyzer) []framework.Diagnostic {
+	t.Helper()
+	return NewProject(deps).Check(t, importPath, files, analyzers...)
 }
 
 type mapImporter map[string]*types.Package
@@ -115,14 +156,76 @@ func Rand() *types.Package {
 	return pkg
 }
 
-// Metrics stubs repro/internal/metrics with a Registry struct carrying
-// one uint64 counter field, matching what metricsguard keys on.
+// Fmt stubs "fmt" with the printf family the analyzers inspect for
+// address-formatting verbs: Sprintf/Errorf (format-first) and Printf.
+func Fmt() *types.Package {
+	pkg := types.NewPackage("fmt", "fmt")
+	anyT := types.Universe.Lookup("any").Type()
+	args := types.NewVar(token.NoPos, pkg, "args", types.NewSlice(anyT))
+	format := types.NewVar(token.NoPos, pkg, "format", types.Typ[types.String])
+	result := func(t types.Type) *types.Tuple {
+		if t == nil {
+			return nil
+		}
+		return types.NewTuple(types.NewVar(token.NoPos, pkg, "", t))
+	}
+	errorT := types.Universe.Lookup("error").Type()
+	for name, res := range map[string]types.Type{
+		"Sprintf": types.Typ[types.String],
+		"Errorf":  errorT,
+		"Printf":  nil,
+	} {
+		pkg.Scope().Insert(types.NewFunc(token.NoPos, pkg, name,
+			types.NewSignatureType(nil, nil, nil, types.NewTuple(format, args), result(res), true)))
+	}
+	pkg.MarkComplete()
+	return pkg
+}
+
+// Reflect stubs "reflect" with ValueOf and the Value.MapKeys method
+// detlint forbids in cycle-domain code.
+func Reflect() *types.Package {
+	pkg := types.NewPackage("reflect", "reflect")
+	valObj := types.NewTypeName(token.NoPos, pkg, "Value", nil)
+	valT := types.NewNamed(valObj, types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, pkg, "v", valT)
+	mapKeys := types.NewFunc(token.NoPos, pkg, "MapKeys",
+		types.NewSignatureType(recv, nil, nil, nil,
+			types.NewTuple(types.NewVar(token.NoPos, pkg, "", types.NewSlice(valT))), false))
+	valT.AddMethod(mapKeys)
+	pkg.Scope().Insert(valObj)
+	anyT := types.Universe.Lookup("any").Type()
+	pkg.Scope().Insert(types.NewFunc(token.NoPos, pkg, "ValueOf",
+		types.NewSignatureType(nil, nil, nil,
+			types.NewTuple(types.NewVar(token.NoPos, pkg, "i", anyT)),
+			types.NewTuple(types.NewVar(token.NoPos, pkg, "", valT)), false)))
+	pkg.MarkComplete()
+	return pkg
+}
+
+// Metrics stubs repro/internal/metrics with the two pointer-dereferenced
+// observability types metricsguard proves nil guards for: Registry and
+// the PR-8 FineHist.
 func Metrics() *types.Package {
 	pkg := types.NewPackage("repro/internal/metrics", "metrics")
+
+	fhObj := types.NewTypeName(token.NoPos, pkg, "FineHist", nil)
+	fhFields := []*types.Var{
+		types.NewField(token.NoPos, pkg, "Count", types.Typ[types.Uint64], false),
+		types.NewField(token.NoPos, pkg, "Max", types.Typ[types.Uint64], false),
+	}
+	fhT := types.NewNamed(fhObj, types.NewStruct(fhFields, nil), nil)
+	fhRecv := types.NewVar(token.NoPos, pkg, "h", types.NewPointer(fhT))
+	fhT.AddMethod(types.NewFunc(token.NoPos, pkg, "Observe",
+		types.NewSignatureType(fhRecv, nil, nil,
+			types.NewTuple(types.NewVar(token.NoPos, pkg, "v", types.Typ[types.Uint64])), nil, false)))
+	pkg.Scope().Insert(fhObj)
+
 	obj := types.NewTypeName(token.NoPos, pkg, "Registry", nil)
 	fields := []*types.Var{
 		types.NewField(token.NoPos, pkg, "Hides", types.Typ[types.Uint64], false),
 		types.NewField(token.NoPos, pkg, "Faults", types.Typ[types.Uint64], false),
+		types.NewField(token.NoPos, pkg, "Sojourn", fhT, false),
 	}
 	types.NewNamed(obj, types.NewStruct(fields, nil), nil)
 	pkg.Scope().Insert(obj)
@@ -131,11 +234,15 @@ func Metrics() *types.Package {
 }
 
 // Messages flattens diagnostics to "analyzer: message" strings for
-// simple substring assertions.
+// simple substring assertions (rule attributions included when set).
 func Messages(diags []framework.Diagnostic) []string {
 	out := make([]string, len(diags))
 	for i, d := range diags {
-		out[i] = fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		if d.Rule != "" {
+			out[i] = d.String()
+		} else {
+			out[i] = fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		}
 	}
 	return out
 }

@@ -1,10 +1,11 @@
 // Package metricsguard verifies that every access through a
-// *repro/internal/metrics.Registry pointer is nil-guarded. The
-// observability contract (ARCHITECTURE.md §8) is that metrics are
-// strictly opt-in: a nil registry means "off", and every bump site in
-// the cycle domain must tolerate it. A single unguarded site panics
-// only in the configurations that don't enable metrics — exactly the
-// ones the test matrix exercises least.
+// *repro/internal/metrics.Registry or *metrics.FineHist pointer is
+// nil-guarded. The observability contract (ARCHITECTURE.md §8) is that
+// metrics are strictly opt-in: a nil registry means "off", a nil
+// histogram means "not recorded", and every bump site in the cycle
+// domain must tolerate both. A single unguarded site panics only in
+// the configurations that don't enable metrics — exactly the ones the
+// test matrix exercises least.
 //
 // Two guard idioms are recognized, matching the repository's style:
 //
@@ -33,8 +34,9 @@ import (
 
 var Analyzer = &framework.Analyzer{
 	Name: "metricsguard",
-	Doc: "require nil guards on every use of a *metrics.Registry\n\n" +
-		"A nil registry disables observability; unguarded bump sites panic in metrics-off configurations.",
+	Doc: "require nil guards on every use of a *metrics.Registry or *metrics.FineHist\n\n" +
+		"A nil registry disables observability (and a nil histogram a single series); " +
+		"unguarded bump sites panic in metrics-off configurations.",
 	Run: run,
 }
 
@@ -61,9 +63,11 @@ type checker struct {
 	pass *framework.Pass
 }
 
-// isRegistryPtr reports whether t is *metrics.Registry (matched by
-// package-path suffix so vendored or test-stub copies also count).
-func isRegistryPtr(t types.Type) bool {
+// isGuardedPtr reports whether t is *metrics.Registry or
+// *metrics.FineHist (matched by package-path suffix so vendored or
+// test-stub copies also count). These are the two pointer types the
+// observability contract allows to be nil.
+func isGuardedPtr(t types.Type) bool {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
 		return false
@@ -73,8 +77,10 @@ func isRegistryPtr(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Registry" && obj.Pkg() != nil &&
-		strings.HasSuffix(obj.Pkg().Path(), "internal/metrics")
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/metrics") {
+		return false
+	}
+	return obj.Name() == "Registry" || obj.Name() == "FineHist"
 }
 
 // stmts walks a statement sequence with the set of guarded registry
@@ -212,11 +218,11 @@ func (c *checker) expr(e ast.Expr, g map[string]bool) {
 			c.stmts(n.Body.List, g)
 			return false
 		case *ast.SelectorExpr:
-			if isRegistryPtr(c.pass.TypesInfo.TypeOf(n.X)) {
+			if isGuardedPtr(c.pass.TypesInfo.TypeOf(n.X)) {
 				key := types.ExprString(n.X)
 				if !g[key] {
 					c.pass.Reportf(n.Pos(),
-						"unguarded use of metrics registry %s (may be nil when observability is off): wrap in `if m := %s; m != nil { ... }` or add an early nil return",
+						"unguarded use of metrics pointer %s (may be nil when observability is off): wrap in `if m := %s; m != nil { ... }` or add an early nil return",
 						key, key)
 				}
 			}

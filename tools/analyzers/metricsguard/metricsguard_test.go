@@ -48,7 +48,7 @@ func alsoBad(m *metrics.Registry) uint64 {
 	if len(msgs) != 2 {
 		t.Fatalf("want 2 diagnostics, got %v", msgs)
 	}
-	if !strings.Contains(msgs[0], "e.Cfg.Metrics") || !strings.Contains(msgs[1], "registry m") {
+	if !strings.Contains(msgs[0], "e.Cfg.Metrics") || !strings.Contains(msgs[1], "pointer m") {
 		t.Fatalf("diagnostics should name the unguarded expression: %v", msgs)
 	}
 }

@@ -1,22 +1,67 @@
 // Command shlint is the repository's custom vet tool. It bundles the
-// project-specific analyzers — detlint (determinism contract in
-// cycle-domain packages) and metricsguard (nil-guarded metrics
-// registry uses) — behind the `go vet -vettool` protocol:
+// five project-specific analyzers behind the `go vet -vettool`
+// protocol:
+//
+//	detlint       lexical determinism contract in cycle-domain packages
+//	detflow       interprocedural proof that cycle-domain entry points
+//	              reach no nondeterminism source (fact-propagated)
+//	barrierguard  cycle-quantum LLC protocol: no mutating shared-LLC
+//	              method reachable from quantum-phase code
+//	allocguard    always-allocating constructs in //shsim:noalloc
+//	              functions (AST layer)
+//	metricsguard  nil-guarded *metrics.Registry / *metrics.FineHist uses
 //
 //	go build -o bin/shlint repro/tools/analyzers/shlint
 //	go vet -vettool=$(pwd)/bin/shlint ./...
+//	go vet -vettool=$(pwd)/bin/shlint -run=detflow -json ./...
 //
-// scripts/lint.sh wraps exactly that invocation and is the gating CI
-// entry point. See the analyzer package docs for what each check
-// enforces and why.
+// The binary has a second mode outside the vet protocol:
+//
+//	shlint -allocgate [packages...]
+//
+// runs the escape-analysis layer of the allocation gate: recompile the
+// named packages (default ./...) with -gcflags=-m=2 and fail on heap
+// allocations or lost inlines in //shsim:noalloc functions.
+//
+// scripts/lint.sh wraps both modes and is the gating CI entry point.
+// See the analyzer package docs for what each check enforces and why.
 package main
 
 import (
+	"fmt"
+	"os"
+
+	"repro/tools/analyzers/allocguard"
+	"repro/tools/analyzers/barrierguard"
+	"repro/tools/analyzers/detflow"
 	"repro/tools/analyzers/detlint"
 	"repro/tools/analyzers/framework"
 	"repro/tools/analyzers/metricsguard"
 )
 
 func main() {
-	framework.Main(detlint.Analyzer, metricsguard.Analyzer)
+	if len(os.Args) >= 2 && os.Args[1] == "-allocgate" {
+		dir, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n, err := allocguard.Gate(dir, os.Args[2:], os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "allocgate: %d violation(s)\n", n)
+			os.Exit(2)
+		}
+		return
+	}
+	framework.Main(
+		detlint.Analyzer,
+		detflow.Analyzer,
+		barrierguard.Analyzer,
+		allocguard.Analyzer,
+		metricsguard.Analyzer,
+	)
 }

@@ -1,0 +1,21 @@
+package hot
+
+// Leak is the seeded escape-gate defect: its local is moved to the
+// heap by the returned pointer.
+//
+//shsim:noalloc
+func Leak(n int) *int {
+	v := n
+	return &v
+}
+
+// Fib is the seeded inline-contract defect: recursion means the
+// compiler will never report "can inline Fib".
+//
+//shsim:noalloc inline
+func Fib(n int) int {
+	if n < 2 {
+		return n
+	}
+	return Fib(n-1) + Fib(n-2)
+}

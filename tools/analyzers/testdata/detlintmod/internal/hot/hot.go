@@ -1,0 +1,30 @@
+// Package hot is the allocguard integration fixture: //shsim:noalloc
+// functions with seeded allocation defects for both the AST vet layer
+// (this file) and the escape-analysis gate (gate.go).
+package hot
+
+import "fmt"
+
+// Step is the seeded vet-layer defect trio: a map make, a goroutine
+// start, and a fmt call, all inside a declared hot path.
+//
+//shsim:noalloc
+func Step(n int) error {
+	seen := make(map[uint64]bool, n)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	_ = seen
+	<-done
+	return fmt.Errorf("step %d", n)
+}
+
+// Sum is the control: a clean hot path reports nothing.
+//
+//shsim:noalloc
+func Sum(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

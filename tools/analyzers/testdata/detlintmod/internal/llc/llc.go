@@ -1,0 +1,56 @@
+// Package llc is the barrierguard integration fixture: a shared LLC
+// reduction whose methods carry the read/mutate classification.
+package llc
+
+// SharedLLC holds the committed tag state plus a private access log.
+type SharedLLC struct {
+	tags []uint64
+	log  []uint64
+}
+
+// Contains probes committed state.
+//
+//shsim:llc-read
+func (s *SharedLLC) Contains(line uint64) bool {
+	for _, t := range s.tags {
+		if t == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Demand records a demand access in the private log.
+//
+//shsim:llc-read
+func (s *SharedLLC) Demand(line uint64) uint64 {
+	s.log = append(s.log, line)
+	return 10
+}
+
+// Commit folds the quantum's log into the committed tags.
+//
+//shsim:llc-mutate
+func (s *SharedLLC) Commit() {
+	s.tags = append(s.tags, s.log...)
+	s.log = s.log[:0]
+}
+
+// Evict is a seeded defect: a method of a classified type with no
+// classification of its own.
+func (s *SharedLLC) Evict() {
+	s.tags = s.tags[:0]
+}
+
+// Probe is a second shared type whose single method carries a seeded
+// conflicting classification.
+type Probe struct{ hits uint64 }
+
+// Sample is a seeded defect: annotated both read and mutate.
+//
+//shsim:llc-read
+//shsim:llc-mutate
+func (p *Probe) Sample() uint64 {
+	p.hits++
+	return p.hits
+}

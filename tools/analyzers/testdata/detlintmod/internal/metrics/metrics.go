@@ -1,0 +1,24 @@
+// Package metrics is the fixture's observability reduction; the
+// internal/metrics path suffix is what metricsguard keys on.
+package metrics
+
+// FineHist is a nil-able histogram series.
+type FineHist struct {
+	Count uint64
+	Max   uint64
+}
+
+// Observe records one sample.
+func (h *FineHist) Observe(v uint64) {
+	h.Count++
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Registry is the nil-able opt-in registry.
+type Registry struct {
+	Hides   uint64
+	Faults  uint64
+	Sojourn FineHist
+}
