@@ -1,5 +1,5 @@
 // Command shbench regenerates the evaluation: Figure 1 and experiments
-// E1–E20 (see DESIGN.md §3 for the per-experiment index and EXPERIMENTS.md
+// E1–E21 (see DESIGN.md §3 for the per-experiment index and EXPERIMENTS.md
 // for paper-vs-measured discussion). Sweeps fan out over the parallel
 // runner; output is byte-identical for tables and metrics at any
 // parallelism, and a warm result cache skips already-computed cells.
@@ -36,6 +36,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/runner"
+	_ "repro/internal/service" // registers E21 (open-loop multi-core serving)
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )

@@ -241,13 +241,12 @@ func run(w io.Writer, o options) error {
 // their own clock and are served under every -policy at every -rate,
 // through the canonical Session.Serve sweep — cells fan out on the
 // runner's worker pool and are served from the content-addressed cache
-// when -cache is set.
+// when -cache is set. With -cores N each cell load-balances its one
+// arrival stream across N per-core policy engines contending for the
+// shared LLC under the cycle-quantum kernel.
 func runServe(w io.Writer, o options) error {
 	if o.imagePath != "" {
 		return fmt.Errorf("-serve rebuilds the request scenario per cell; drop -image")
-	}
-	if o.tf.Cores > 1 {
-		return fmt.Errorf("-serve is a single-core harness; drop -cores")
 	}
 	if o.seeds > 1 {
 		return fmt.Errorf("-serve sweeps offered load, not seeds; drop -seeds")
@@ -263,7 +262,11 @@ func runServe(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	opts := []repro.Option{repro.WithSeed(o.wf.Seed), repro.WithParallelism(o.parallel)}
+	topo, err := o.tf.Topology(core.DefaultMachine())
+	if err != nil {
+		return err
+	}
+	opts := []repro.Option{repro.WithTopology(topo), repro.WithSeed(o.wf.Seed), repro.WithParallelism(o.parallel)}
 	if o.cache || o.cacheDir != "" {
 		opts = append(opts, repro.WithCache(o.cacheDir))
 	}

@@ -33,7 +33,7 @@
 // cells are served without simulating):
 //
 //	s, _ = repro.NewSession(repro.WithParallelism(8), repro.WithCache(""))
-//	results, _ := s.RunAll(context.Background()) // all of F1, E1–E20
+//	results, _ := s.RunAll(context.Background()) // all of F1, E1–E21
 //
 // Static verification guards against silent miscompiles in the binary
 // rewriter. WithVerification makes the session self-checking: every

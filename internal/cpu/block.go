@@ -185,7 +185,10 @@ func (c *Core) RunBlock(ctx *coro.Context, block bool, fuel, busyBudget uint64, 
 		steps    uint64
 		busyAcc  uint64
 		sbEntry  = c.sbEntry
-		trySB    = sbEntry != nil
+		// InstallSuperblocks builds the entry table even when the deriver
+		// found no traces; probing it per PC would then be pure overhead,
+		// so the tier arms only when at least one trace exists.
+		trySB = len(c.sbs) > 0
 	)
 	finish := func() {
 		ctx.PC = pc

@@ -90,12 +90,36 @@ func (r *Result) MetricsString() string {
 // Runner produces one experiment result.
 type Runner func(Machine) (*Result, error)
 
-// All returns the experiment registry in presentation order.
+// registered holds experiments contributed by higher layers via
+// Register, appended to the built-in registry in registration order.
+var registered []struct {
+	ID  string
+	Run Runner
+}
+
+// Register adds an experiment to the registry. It exists for packages
+// the experiment harness cannot import without a cycle (internal/
+// service registers E21 here from an init function: service imports
+// experiments for the Result type, so the open-loop experiments must
+// flow in this direction). Register panics on a duplicate ID — that is
+// a programming error, not an input error.
+func Register(id string, run Runner) {
+	if _, ok := Lookup(id); ok {
+		panic(fmt.Sprintf("experiments: duplicate registration of %q", id))
+	}
+	registered = append(registered, struct {
+		ID  string
+		Run Runner
+	}{id, run})
+}
+
+// All returns the experiment registry in presentation order: the
+// built-in experiments, then registered ones in registration order.
 func All() []struct {
 	ID  string
 	Run Runner
 } {
-	return []struct {
+	all := []struct {
 		ID  string
 		Run Runner
 	}{
@@ -121,6 +145,7 @@ func All() []struct {
 		{"E19", E19SamplingPrecision},
 		{"E20", E20SwitchCostSensitivity},
 	}
+	return append(all, registered...)
 }
 
 // Lookup finds a runner by (case-sensitive) ID.

@@ -112,7 +112,7 @@ func New(topo Topology, rc RunConfig) (*Machine, error) {
 	for i := 0; i < topo.Cores; i++ {
 		c := &coreRunner{
 			id:    i,
-			mach:  topo.coreMachine(i),
+			mach:  topo.CoreMachine(i),
 			start: make(chan uint64),
 			ack:   make(chan struct{}),
 		}

@@ -120,9 +120,14 @@ func (t Topology) Validate() error {
 	return nil
 }
 
-// coreMachine derives core i's template: optional per-core hierarchy
-// override plus the seed stride.
-func (t Topology) coreMachine(i int) core.Machine {
+// CoreMachine derives core i's template: optional per-core hierarchy
+// override plus the seed stride. Core 0 is the template itself, so a
+// 1-core topology reproduces the single-core engine exactly; layers
+// that build their own per-core scenarios over a topology (the service
+// dispatcher, external harnesses) must derive machines here rather
+// than striding seeds themselves, so every consumer agrees on which
+// data layout core i sees.
+func (t Topology) CoreMachine(i int) core.Machine {
 	m := t.Machine
 	if len(t.PerCoreMem) == t.Cores && t.Cores > 0 {
 		m.Mem = t.PerCoreMem[i]

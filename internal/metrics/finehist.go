@@ -78,6 +78,29 @@ func (h *FineHist) Mean() float64 {
 // Reset zeroes the histogram in place.
 func (h *FineHist) Reset() { *h = FineHist{} }
 
+// Merge folds o's observations into h: bucket-wise sums plus the
+// combined range. Because every field is additive (and Min/Max are
+// order-free), merging per-worker histograms is exactly equivalent to
+// having observed every value on one histogram — which is what lets
+// per-core sojourn histograms collapse into one service report without
+// re-observing a single request.
+func (h *FineHist) Merge(o *FineHist) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+}
+
 // Quantile returns an upper bound for the q-th quantile (0 < q ≤ 1):
 // the exclusive upper edge of the bucket containing the q·Count-th
 // observation, accurate to the bucket width (≤ 6% above 16).

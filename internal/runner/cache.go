@@ -18,8 +18,10 @@ import (
 // preimage gained the job's machine topology (many-core runs). Schema
 // 3: the preimage gained the job's service-sweep configuration and the
 // resumable many-core engines started recording request latencies, so
-// every pre-service entry deliberately misses.
-const cacheSchema = 3
+// every pre-service entry deliberately misses. Schema 4: the service
+// key gained the cell's core count, shared-LLC shape and quantum
+// (multi-core serving), and cell results gained the cores metric.
+const cacheSchema = 4
 
 // Cache is a content-addressed store of experiment results keyed by
 // (schema, experiment ID, machine). Entries are immutable JSON files

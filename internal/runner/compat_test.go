@@ -19,13 +19,15 @@ import (
 // simulator's observable behaviour changed and cacheSchema should have
 // been bumped.
 //
-// History: the fixture was regenerated at schema 3, when the key
-// preimage gained the job's service-sweep configuration and the
-// resumable engines started recording request latencies; it was
-// previously regenerated at schema 2, when the preimage gained the job
+// History: the fixture was regenerated at schema 4, when the service
+// key gained the cell's core count, shared-LLC shape and quantum
+// (multi-core serving) and cell results gained the cores metric; at
+// schema 3, when the key preimage gained the job's service-sweep
+// configuration and the resumable engines started recording request
+// latencies; and at schema 2, when the preimage gained the job
 // topology (many-core machines). Entries from prior schemas
-// deliberately miss (see TestCacheSchemaBump and
-// TestCacheSchema2EntriesMiss).
+// deliberately miss (see TestCacheSchemaBump,
+// TestCacheSchema2EntriesMiss and TestCacheSchema3EntriesMiss).
 //
 // Regenerate deliberately with:
 //

@@ -53,6 +53,27 @@ func TestCacheSchema2EntriesMiss(t *testing.T) {
 	}
 }
 
+// A schema-3 entry (pre-multi-core-serving key preimage) must likewise
+// miss under schema 4, even when it sits at the current key's path.
+func TestCacheSchema3EntriesMiss(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := Job{ID: "E1", Mach: core.DefaultMachine(), Cacheable: true}
+	key, err := c.Key(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, _ := json.Marshal(entry{Schema: 3, ID: j.ID, Result: &experiments.Result{ID: j.ID}})
+	if err := os.WriteFile(c.path(key), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(j); ok {
+		t.Fatal("schema-3 entry served under schema 4")
+	}
+}
+
 // Topology participates in the key: a nil-topology job, a 1-core
 // topology job and an 8-core topology job are three distinct cells.
 func TestCacheKeyIncludesTopology(t *testing.T) {

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// e21GoldenPath pins E21's rendered tables and metrics byte-for-byte,
+// the same determinism contract internal/experiments' golden fixture
+// enforces for E1–E20 (E21's golden lives here because the experiment
+// does: the harness package cannot import service).
+//
+// Regenerate deliberately with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/service -run TestE21Golden
+const e21GoldenPath = "testdata/e21_golden.txt"
+
+func TestE21Registered(t *testing.T) {
+	run, ok := experiments.Lookup("E21")
+	if !ok {
+		t.Fatal("E21 not in the experiment registry")
+	}
+	if run == nil {
+		t.Fatal("E21 registered with a nil runner")
+	}
+	ids := experiments.IDs()
+	if ids[len(ids)-1] != "E21" {
+		t.Fatalf("registered experiments should follow the built-ins; IDs end with %q", ids[len(ids)-1])
+	}
+}
+
+func TestE21Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E21 serves 18 sweep cells; skipped under -short")
+	}
+	mach := core.DefaultMachine()
+	res, err := E21OpenLoopScaling(mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The scaling claim itself: for the event-aware policy at the
+	// highest offered load (well past one core's saturation), p99
+	// sojourn improves strictly as cores double 1 → 2 → 4.
+	rate := e21Rates[len(e21Rates)-1]
+	var prev float64
+	for i, n := range e21Cores {
+		key := fmt.Sprintf("e21.%s.rate%g.cores%d.p99_us", EventAware, rate, n)
+		p99, ok := res.Metrics[key]
+		if !ok {
+			t.Fatalf("E21 result lacks metric %q", key)
+		}
+		if i > 0 && p99 >= prev {
+			t.Errorf("event-aware p99 at rate %g did not improve: %d cores %.3fµs, previous %.3fµs",
+				rate, n, p99, prev)
+		}
+		prev = p99
+	}
+
+	got := fmt.Sprintf("golden E21 tables — seed %d\n\n%s%s\n",
+		mach.Seed, res.String(), res.MetricsString())
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(e21GoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(e21GoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", e21GoldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(e21GoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Fatalf("E21 output diverges from golden fixture:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

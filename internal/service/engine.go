@@ -37,7 +37,10 @@ type batchTask struct {
 }
 
 // cell is one (policy, rate) point of the sweep: a pure single-threaded
-// simulation over its own harness, executor and metrics registry.
+// simulation over its own harness, executor and metrics registry. In a
+// multi-core cell each core owns one of these (built from its strided
+// per-core machine, arrivals owned by the dispatcher instead), and the
+// engines below run it one quantum at a time.
 type cell struct {
 	cfg  Config
 	pol  Policy
@@ -56,6 +59,10 @@ type cell struct {
 	bpart  *workloads.Part // background part (nil without batch work)
 	bentry int
 
+	// arr is the cell-owned arrival process. nil marks a dispatched
+	// (multi-core) cell: requests appear in q at quantum barriers via
+	// the dispatcher instead of being pumped inline, and the engines run
+	// against a quantum deadline rather than to drain.
 	arr         *Arrivals
 	nextArrival uint64
 	generated   uint64
@@ -68,34 +75,63 @@ type cell struct {
 
 	steps uint64
 	r     cpu.BlockResult
+
+	// Engine state that single-core runs kept in loop locals. It lives
+	// on the cell so a deadline-sliced engine resumes mid-discipline
+	// exactly where the quantum cut it: a budget stop is a fuel split
+	// (equivalence-preserving), so a cell served in quantum slices is
+	// byte-identical to the same cell run unsliced.
+	cur       int    // ring entity holding the CPU; -1 = none (flat/asym)
+	scavIdx   int    // batch rotation cursor (asym)
+	inEpisode bool   // an open hide episode (asym)
+	epStart   uint64 // episode start cycle
+	epTarget  uint64 // episode hide target
+
+	smtCur       int      // SMT rotation cursor
+	sliceUsed    uint64   // busy cycles used of the current SMT slice
+	smtQuantum   uint64   // SMT hardware-thread slice length
+	blockedUntil []uint64 // per-entity SMT memory-stall wakeups
 }
 
 // RunCell serves one sweep cell: cfg.Requests requests offered at
 // cell.Rate under cell.Policy. It is a pure function of its arguments —
 // sweeps may run cells concurrently (each builds its own scenario,
-// core and registry) and merge results in grid order.
+// core and registry) and merge results in grid order. With
+// cfg.Topology.Cores > 1 the cell spreads over a many-core machine:
+// one arrival stream, per-core policy engines, deterministic quantum
+// dispatch (see dispatch.go).
 func RunCell(mach core.Machine, cfg Config, cl Cell) (CellStats, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return CellStats{}, err
 	}
-	c, err := newCell(mach, cfg, cl)
+	if cfg.Topology.Cores > 1 {
+		return runCellMulti(mach, cfg, cl)
+	}
+	c, err := newCell(mach, cfg, cl, true)
 	if err != nil {
 		return CellStats{}, err
 	}
 	start := c.ex.Core.Now
-	switch c.pol {
-	case Agnostic, OSThread:
-		err = c.runFlat()
-	case Sidecar, EventAware:
-		err = c.runAsym()
-	case SMT:
-		err = c.runSMT()
-	}
-	if err != nil {
+	if err := c.run(0); err != nil {
 		return CellStats{}, err
 	}
 	return c.stats(c.ex.Core.Now - start), nil
+}
+
+// run advances the cell's policy engine until the cell drains
+// (single-core cells, deadline 0) or the cycle deadline passes
+// (quantum-sliced multi-core cells).
+func (c *cell) run(deadline uint64) error {
+	switch c.pol {
+	case Agnostic, OSThread:
+		return c.runFlat(deadline)
+	case Sidecar, EventAware:
+		return c.runAsym(deadline)
+	case SMT:
+		return c.runSMT(deadline)
+	}
+	return fmt.Errorf("service: unknown policy %d", uint8(c.pol))
 }
 
 // pipelineOpts builds instrumentation options consistent with the
@@ -110,7 +146,10 @@ func pipelineOpts(mach core.Machine) instrument.PipelineOptions {
 	return opts
 }
 
-func newCell(mach core.Machine, cfg Config, cl Cell) (*cell, error) {
+// newCell builds one serving cell over mach. withArrivals selects the
+// classic self-clocked form; a dispatched (multi-core) cell leaves arr
+// nil — its local queue is fed by the dispatcher at quantum barriers.
+func newCell(mach core.Machine, cfg Config, cl Cell, withArrivals bool) (*cell, error) {
 	workers := cfg.Workers
 	if cl.Policy == Sidecar {
 		workers = 1 // the dedicated lane serves strictly one at a time
@@ -153,6 +192,7 @@ func newCell(mach core.Machine, cfg Config, cl Cell) (*cell, error) {
 		part:  h.Sc.Part(reqName),
 		entry: img.Entries[reqName],
 		q:     newQueue(cfg.Queue),
+		cur:   -1,
 	}
 	execCfg := exec.Config{Switch: mach.Switch, MaxSteps: cfg.MaxSteps, Metrics: &c.reg}
 	if cl.Policy == OSThread {
@@ -185,21 +225,34 @@ func newCell(mach core.Machine, cfg Config, cl Cell) (*cell, error) {
 		}
 		c.reg.Sched.BatchTasks = uint64(cfg.Batch)
 	}
-
-	spec := cfg.Arrivals
-	spec.Rate = cl.Rate
-	arr, err := NewArrivals(spec, mach.Seed)
-	if err != nil {
-		return nil, err
+	if cl.Policy == SMT {
+		c.blockedUntil = make([]uint64, c.entities())
+		c.smtQuantum = smt.DefaultConfig().Quantum
 	}
-	c.arr = arr
-	c.nextArrival = arr.Next()
+
+	if withArrivals {
+		spec := cfg.Arrivals
+		spec.Rate = cl.Rate
+		arr, err := NewArrivals(spec, mach.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c.arr = arr
+		c.nextArrival = arr.Next()
+	}
 	return c, nil
 }
 
-// pending reports whether any offered request is still unaccounted:
-// every request ends as exactly one of completed, dropped or shed.
+// pending reports whether the engine loop has more to do. A
+// self-clocked cell drains its own request budget: every request ends
+// as exactly one of completed, dropped or shed. A dispatched cell runs
+// until its quantum deadline — the dispatcher, not the core, decides
+// when the cell as a whole is drained — so here it is always pending
+// and the deadline check in the engine loop is the only exit.
 func (c *cell) pending() bool {
+	if c.arr == nil {
+		return true
+	}
 	s := &c.reg.Service
 	return s.Completed+s.Dropped+s.Shed < uint64(c.cfg.Requests)
 }
@@ -207,8 +260,12 @@ func (c *cell) pending() bool {
 // pump admits every arrival due at or before the current cycle. After
 // pump, either all requests have been generated or the next arrival is
 // strictly in the future — which is what makes clip() a positive
-// budget.
+// budget. Dispatched cells have no arrival process: their queue is fed
+// at quantum barriers and pump is a no-op.
 func (c *cell) pump() {
+	if c.arr == nil {
+		return
+	}
 	now := c.ex.Core.Now
 	for c.generated < uint64(c.cfg.Requests) && c.nextArrival <= now {
 		c.reg.Service.Arrivals++
@@ -224,27 +281,48 @@ func (c *cell) pump() {
 	}
 }
 
-// clip returns the busy-cycle budget to the next arrival (0 = no
-// arrivals left, unbounded): every engine hands it to RunBlock so the
-// simulation re-enters the scheduling loop at each arrival boundary.
-// A budget stop is exactly a fuel split — equivalence-preserving — so
-// clipping changes no architectural state, only where the engine gets
-// to look at the clock.
-func (c *cell) clip() uint64 {
-	if c.generated >= uint64(c.cfg.Requests) {
-		return 0
+// clip returns the busy-cycle budget to the next scheduling boundary
+// (0 = unbounded): the next arrival for self-clocked cells, additionally
+// capped by the quantum deadline when one is set. Every engine hands it
+// to RunBlock so the simulation re-enters the scheduling loop at each
+// boundary. A budget stop is exactly a fuel split — equivalence-
+// preserving — so clipping changes no architectural state, only where
+// the engine gets to look at the clock.
+func (c *cell) clip(deadline uint64) uint64 {
+	now := c.ex.Core.Now
+	var budget uint64
+	if c.arr != nil && c.generated < uint64(c.cfg.Requests) {
+		budget = c.nextArrival - now
 	}
-	return c.nextArrival - c.ex.Core.Now
+	if deadline != 0 {
+		if b := deadline - now; budget == 0 || b < budget {
+			budget = b
+		}
+	}
+	return budget
 }
 
-// idle advances the clock to the next arrival when nothing is runnable.
-func (c *cell) idle() error {
+// idle advances the clock to the next arrival (or the quantum deadline,
+// whichever is sooner) when nothing is runnable.
+func (c *cell) idle(deadline uint64) error {
+	now := c.ex.Core.Now
+	if c.arr == nil {
+		// Dispatched cells idle out the quantum; new work can only
+		// appear at the next barrier. The engine loop re-checks the
+		// deadline and returns.
+		c.ex.Core.AdvanceIdle(deadline - now)
+		return nil
+	}
 	if c.generated >= uint64(c.cfg.Requests) {
 		// Unaccounted requests with nothing runnable and nothing to
 		// arrive cannot happen: queued requests fill free slots first.
 		return fmt.Errorf("service: stalled with no runnable work and no pending arrivals")
 	}
-	c.ex.Core.AdvanceIdle(c.nextArrival - c.ex.Core.Now)
+	next := c.nextArrival
+	if deadline != 0 && deadline < next {
+		next = deadline
+	}
+	c.ex.Core.AdvanceIdle(next - now)
 	return nil
 }
 
@@ -394,6 +472,12 @@ func (c *cell) haltAt(i int) error {
 	return c.completeBatch(c.batch[i-len(c.slots)])
 }
 
+// expired reports whether the quantum deadline has passed (never true
+// for self-clocked cells, which run with deadline 0).
+func (c *cell) expired(deadline uint64) bool {
+	return deadline != 0 && c.ex.Core.Now >= deadline
+}
+
 // runFlat is the Agnostic/OSThread engine: one flat round-robin ring
 // over in-flight requests and batch work, rotating at every primary
 // yield, blind to request class — requests queue behind batch ops and
@@ -402,46 +486,48 @@ func (c *cell) haltAt(i int) error {
 //
 //shsim:cycle-entry
 //shsim:noalloc
-func (c *cell) runFlat() error {
-	cur := -1 // ring entity currently holding the CPU; -1 = none
+func (c *cell) runFlat(deadline uint64) error {
 	for c.pending() {
+		if c.expired(deadline) {
+			return nil
+		}
 		if c.steps >= c.cfg.MaxSteps {
 			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate) //shsim:alloc-ok cold overrun guard; fails the run
 		}
 		c.pump()
 		c.fill()
-		if cur < 0 || !c.runnableAt(cur) {
-			nxt := c.nextRunnable(cur)
+		if c.cur < 0 || !c.runnableAt(c.cur) {
+			nxt := c.nextRunnable(c.cur)
 			if nxt < 0 {
-				if err := c.idle(); err != nil {
+				if err := c.idle(deadline); err != nil {
 					return err
 				}
 				continue
 			}
-			cur = nxt
-			c.ex.Resume(c.taskAt(cur))
+			c.cur = nxt
+			c.ex.Resume(c.taskAt(c.cur))
 		}
-		t := c.taskAt(cur)
-		if err := c.ex.Core.RunBlock(t.Ctx, false, c.cfg.MaxSteps-c.steps, c.clip(), &c.r); err != nil {
+		t := c.taskAt(c.cur)
+		if err := c.ex.Core.RunBlock(t.Ctx, false, c.cfg.MaxSteps-c.steps, c.clip(deadline), &c.r); err != nil {
 			return err
 		}
 		c.steps += c.r.Steps
 		switch {
 		case c.r.Halted:
-			if err := c.haltAt(cur); err != nil {
+			if err := c.haltAt(c.cur); err != nil {
 				return err
 			}
-			if nxt := c.nextRunnable(cur); nxt >= 0 {
-				cur = nxt
-				c.ex.Resume(c.taskAt(cur))
+			if nxt := c.nextRunnable(c.cur); nxt >= 0 {
+				c.cur = nxt
+				c.ex.Resume(c.taskAt(c.cur))
 			} else {
-				cur = -1
+				c.cur = -1
 			}
 		case c.r.Yield:
-			if nxt := c.nextRunnable(cur); nxt >= 0 && nxt != cur {
+			if nxt := c.nextRunnable(c.cur); nxt >= 0 && nxt != c.cur {
 				c.ex.SwitchOut(t, c.r.LiveMask)
-				cur = nxt
-				c.ex.Resume(c.taskAt(cur))
+				c.cur = nxt
+				c.ex.Resume(c.taskAt(c.cur))
 			}
 			// Conditional yields stay dormant in the flat disciplines
 			// (every task runs in primary mode), and a budget stop just
@@ -449,6 +535,52 @@ func (c *cell) runFlat() error {
 		}
 	}
 	return nil
+}
+
+// primary returns the ring entity of the oldest in-flight request,
+// or -1 (asymmetric policies).
+func (c *cell) primary() int {
+	if len(c.fifo) == 0 {
+		return -1
+	}
+	return c.fifo[0]
+}
+
+// nextScavenger picks the next shadow-filler: younger in-flight
+// requests in arrival order, then batch tasks in rotation.
+func (c *cell) nextScavenger(exclude int) int {
+	if len(c.fifo) > 1 {
+		for _, id := range c.fifo[1:] {
+			if id != exclude {
+				return id
+			}
+		}
+	}
+	for off := 0; off < len(c.batch); off++ {
+		k := (c.scavIdx + off) % len(c.batch)
+		e := len(c.slots) + k
+		if e != exclude {
+			c.scavIdx = (k + 1) % len(c.batch)
+			return e
+		}
+	}
+	return -1
+}
+
+// endEpisode closes an open hide episode, if any.
+func (c *cell) endEpisode() {
+	if !c.inEpisode {
+		return
+	}
+	c.inEpisode = false
+	c.reg.Exec.NoteEpisode(c.ex.Core.Now-c.epStart, c.epTarget)
+}
+
+// backToPrimary closes any open episode and resumes the oldest request.
+func (c *cell) backToPrimary() {
+	c.endEpisode()
+	c.cur = c.primary()
+	c.ex.Resume(c.taskAt(c.cur))
 }
 
 // runAsym is the Sidecar/EventAware engine: the oldest in-flight
@@ -461,105 +593,56 @@ func (c *cell) runFlat() error {
 //
 //shsim:cycle-entry
 //shsim:noalloc
-func (c *cell) runAsym() error {
-	var (
-		cur       = -1 // ring entity holding the CPU
-		scavIdx   int  // batch rotation cursor
-		inEpisode bool
-		epStart   uint64
-		epTarget  uint64
-	)
-
-	// primary returns the ring entity of the oldest in-flight request,
-	// or -1.
-	primary := func() int {
-		if len(c.fifo) == 0 {
-			return -1
-		}
-		return c.fifo[0]
-	}
-
-	// nextScavenger picks the next shadow-filler: younger in-flight
-	// requests in arrival order, then batch tasks in rotation.
-	nextScavenger := func(exclude int) int {
-		if len(c.fifo) > 1 {
-			for _, id := range c.fifo[1:] {
-				if id != exclude {
-					return id
-				}
-			}
-		}
-		for off := 0; off < len(c.batch); off++ {
-			k := (scavIdx + off) % len(c.batch)
-			e := len(c.slots) + k
-			if e != exclude {
-				scavIdx = (k + 1) % len(c.batch)
-				return e
-			}
-		}
-		return -1
-	}
-
-	endEpisode := func() {
-		if !inEpisode {
-			return
-		}
-		inEpisode = false
-		c.reg.Exec.NoteEpisode(c.ex.Core.Now-epStart, epTarget)
-	}
-
-	backToPrimary := func() {
-		endEpisode()
-		cur = primary()
-		c.ex.Resume(c.taskAt(cur))
-	}
-
+func (c *cell) runAsym(deadline uint64) error {
 	for c.pending() {
+		if c.expired(deadline) {
+			return nil
+		}
 		if c.steps >= c.cfg.MaxSteps {
 			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate) //shsim:alloc-ok cold overrun guard; fails the run
 		}
 		c.pump()
 		c.fill()
-		if cur < 0 {
+		if c.cur < 0 {
 			// Nothing holds the CPU: the oldest request if any, else
 			// batch work, else idle to the next arrival.
-			if p := primary(); p >= 0 {
-				cur = p
-				c.ex.Resume(c.taskAt(cur))
+			if p := c.primary(); p >= 0 {
+				c.cur = p
+				c.ex.Resume(c.taskAt(c.cur))
 			} else if len(c.batch) > 0 {
-				cur = len(c.slots) + scavIdx%len(c.batch)
-				scavIdx++
-				c.ex.Resume(c.taskAt(cur))
+				c.cur = len(c.slots) + c.scavIdx%len(c.batch)
+				c.scavIdx++
+				c.ex.Resume(c.taskAt(c.cur))
 			} else {
-				if err := c.idle(); err != nil {
+				if err := c.idle(deadline); err != nil {
 					return err
 				}
 				continue
 			}
 		}
-		t := c.taskAt(cur)
-		isPrimary := cur == primary()
-		if err := c.ex.Core.RunBlock(t.Ctx, false, c.cfg.MaxSteps-c.steps, c.clip(), &c.r); err != nil {
+		t := c.taskAt(c.cur)
+		isPrimary := c.cur == c.primary()
+		if err := c.ex.Core.RunBlock(t.Ctx, false, c.cfg.MaxSteps-c.steps, c.clip(deadline), &c.r); err != nil {
 			return err
 		}
 		c.steps += c.r.Steps
 		now := c.ex.Core.Now
-		targetMet := inEpisode && now-epStart >= epTarget
+		targetMet := c.inEpisode && now-c.epStart >= c.epTarget
 
 		switch {
 		case c.r.Halted:
-			if err := c.haltAt(cur); err != nil {
+			if err := c.haltAt(c.cur); err != nil {
 				return err
 			}
 			if isPrimary {
 				// The request completed; promote the next oldest. No
 				// episode can be open — the primary halts only while
 				// running.
-				if p := primary(); p >= 0 {
-					cur = p
-					c.ex.Resume(c.taskAt(cur))
+				if p := c.primary(); p >= 0 {
+					c.cur = p
+					c.ex.Resume(c.taskAt(c.cur))
 				} else {
-					cur = -1
+					c.cur = -1
 				}
 				continue
 			}
@@ -569,29 +652,29 @@ func (c *cell) runAsym() error {
 			// with nothing in flight, fall back to the idle-fill pick.
 			switch {
 			case targetMet:
-				backToPrimary()
-			case inEpisode:
-				if nxt := nextScavenger(cur); nxt >= 0 {
-					if nxt != cur {
+				c.backToPrimary()
+			case c.inEpisode:
+				if nxt := c.nextScavenger(c.cur); nxt >= 0 {
+					if nxt != c.cur {
 						c.reg.Exec.Chains++
 					}
-					cur = nxt
-					c.ex.Resume(c.taskAt(cur))
+					c.cur = nxt
+					c.ex.Resume(c.taskAt(c.cur))
 				} else {
-					backToPrimary()
+					c.backToPrimary()
 				}
-			case primary() >= 0:
-				cur = primary()
-				c.ex.Resume(c.taskAt(cur))
+			case c.primary() >= 0:
+				c.cur = c.primary()
+				c.ex.Resume(c.taskAt(c.cur))
 			default:
-				cur = -1 // idle fill re-picks at the loop top
+				c.cur = -1 // idle fill re-picks at the loop top
 			}
 
 		case c.r.Yield:
 			if isPrimary {
 				// The primary prefetched a likely miss: open a hide
 				// episode sized by the prefetch's residual fill time.
-				nxt := nextScavenger(-1)
+				nxt := c.nextScavenger(-1)
 				if nxt < 0 {
 					continue // nobody to hide behind; eat the miss
 				}
@@ -609,28 +692,28 @@ func (c *cell) runAsym() error {
 				if residual > 0 {
 					target = residual
 				}
-				inEpisode = true
-				epStart = now
-				epTarget = target
+				c.inEpisode = true
+				c.epStart = now
+				c.epTarget = target
 				c.ex.SwitchOut(t, c.r.LiveMask)
-				cur = nxt
-				c.ex.Resume(c.taskAt(cur))
+				c.cur = nxt
+				c.ex.Resume(c.taskAt(c.cur))
 				continue
 			}
 			// A scavenger hit its own likely miss: chain onward; or, if
 			// the lane is idle-filling and a request is now waiting,
 			// this yield is the hand-over boundary.
-			if !inEpisode && primary() >= 0 {
+			if !c.inEpisode && c.primary() >= 0 {
 				c.ex.SwitchOut(t, c.r.LiveMask)
-				cur = primary()
-				c.ex.Resume(c.taskAt(cur))
+				c.cur = c.primary()
+				c.ex.Resume(c.taskAt(c.cur))
 				continue
 			}
-			if nxt := nextScavenger(cur); nxt >= 0 && nxt != cur {
+			if nxt := c.nextScavenger(c.cur); nxt >= 0 && nxt != c.cur {
 				c.ex.SwitchOut(t, c.r.LiveMask)
 				c.reg.Exec.Chains++
-				cur = nxt
-				c.ex.Resume(c.taskAt(cur))
+				c.cur = nxt
+				c.ex.Resume(c.taskAt(c.cur))
 			}
 
 		case c.r.CondYield:
@@ -642,11 +725,11 @@ func (c *cell) runAsym() error {
 			// newly-arrived request when the core was idle-filling.
 			if targetMet {
 				c.ex.SwitchOut(t, c.r.LiveMask)
-				backToPrimary()
-			} else if !inEpisode && primary() >= 0 {
+				c.backToPrimary()
+			} else if !c.inEpisode && c.primary() >= 0 {
 				c.ex.SwitchOut(t, c.r.LiveMask)
-				cur = primary()
-				c.ex.Resume(c.taskAt(cur))
+				c.cur = c.primary()
+				c.ex.Resume(c.taskAt(c.cur))
 			}
 		}
 	}
@@ -663,13 +746,12 @@ func (c *cell) runAsym() error {
 //
 //shsim:cycle-entry
 //shsim:noalloc
-func (c *cell) runSMT() error {
+func (c *cell) runSMT(deadline uint64) error {
 	n := c.entities()
-	blockedUntil := make([]uint64, n) //shsim:alloc-ok once per cell, before the service loop
-	quantum := smt.DefaultConfig().Quantum
-	cur := 0
-	var sliceUsed uint64
 	for c.pending() {
+		if c.expired(deadline) {
+			return nil
+		}
 		if c.steps >= c.cfg.MaxSteps {
 			return fmt.Errorf("service: MaxSteps exceeded (%s at rate %g)", c.pol, c.rate) //shsim:alloc-ok cold overrun guard; fails the run
 		}
@@ -679,31 +761,35 @@ func (c *cell) runSMT() error {
 		picked := -1
 		preemptAt := uint64(0)
 		for off := 0; off < n; off++ {
-			i := (cur + off) % n
+			i := (c.smtCur + off) % n
 			if !c.runnableAt(i) {
 				continue
 			}
-			if blockedUntil[i] <= now {
+			if c.blockedUntil[i] <= now {
 				picked = i
 				break
 			}
-			if preemptAt == 0 || blockedUntil[i] < preemptAt {
-				preemptAt = blockedUntil[i]
+			if preemptAt == 0 || c.blockedUntil[i] < preemptAt {
+				preemptAt = c.blockedUntil[i]
 			}
 		}
 		if picked < 0 {
 			// Every armed context is blocked on memory (or no request
-			// is in flight): idle to the earliest wake-up or arrival.
+			// is in flight): idle to the earliest wake-up, arrival, or
+			// quantum deadline.
 			soonest := uint64(0)
 			for i := 0; i < n; i++ {
-				if c.runnableAt(i) && blockedUntil[i] > now &&
-					(soonest == 0 || blockedUntil[i] < soonest) {
-					soonest = blockedUntil[i]
+				if c.runnableAt(i) && c.blockedUntil[i] > now &&
+					(soonest == 0 || c.blockedUntil[i] < soonest) {
+					soonest = c.blockedUntil[i]
 				}
 			}
-			if c.generated < uint64(c.cfg.Requests) &&
+			if c.arr != nil && c.generated < uint64(c.cfg.Requests) &&
 				(soonest == 0 || c.nextArrival < soonest) {
 				soonest = c.nextArrival
+			}
+			if deadline != 0 && (soonest == 0 || soonest > deadline) {
+				soonest = deadline
 			}
 			if soonest <= now {
 				return fmt.Errorf("service: smt deadlock — nothing runnable and nothing pending") //shsim:alloc-ok cold deadlock guard; fails the run
@@ -711,11 +797,11 @@ func (c *cell) runSMT() error {
 			c.ex.Core.AdvanceIdle(soonest - now)
 			continue
 		}
-		budget := quantum - sliceUsed
+		budget := c.smtQuantum - c.sliceUsed
 		if preemptAt > now && preemptAt-now < budget {
 			budget = preemptAt - now
 		}
-		if clip := c.clip(); clip > 0 && clip < budget {
+		if clip := c.clip(deadline); clip > 0 && clip < budget {
 			budget = clip
 		}
 		ctx := c.taskAt(picked).Ctx
@@ -723,10 +809,10 @@ func (c *cell) runSMT() error {
 			return err
 		}
 		c.steps += c.r.Steps
-		sliceUsed += c.r.Busy
+		c.sliceUsed += c.r.Busy
 		rotate := false
 		if c.r.Stall > 0 {
-			blockedUntil[picked] = c.ex.Core.Now + c.r.Stall
+			c.blockedUntil[picked] = c.ex.Core.Now + c.r.Stall
 			ctx.StallCycles += c.r.Stall
 			rotate = true
 		}
@@ -736,9 +822,9 @@ func (c *cell) runSMT() error {
 			}
 			rotate = true
 		}
-		if rotate || sliceUsed >= quantum {
-			cur = (picked + 1) % n
-			sliceUsed = 0
+		if rotate || c.sliceUsed >= c.smtQuantum {
+			c.smtCur = (picked + 1) % n
+			c.sliceUsed = 0
 		}
 	}
 	return nil

@@ -16,6 +16,7 @@ import (
 type CellStats struct {
 	Policy Policy
 	Rate   float64 // offered load, requests/µs
+	Cores  int     // cores the cell was served on (1 = classic engine)
 
 	Requests  uint64 // arrivals generated
 	Completed uint64
@@ -62,6 +63,7 @@ func (c *cell) stats(cycles uint64) CellStats {
 	cs := CellStats{
 		Policy:      c.pol,
 		Rate:        c.rate,
+		Cores:       1,
 		Requests:    s.Arrivals,
 		Completed:   s.Completed,
 		Dropped:     s.Dropped,
@@ -114,6 +116,7 @@ func (cl Cell) ResultID() string {
 const (
 	keyPolicy    = "policy_code"
 	keyRate      = "rate_per_us"
+	keyCores     = "cores"
 	keyRequests  = "requests"
 	keyCompleted = "completed"
 	keyDropped   = "dropped"
@@ -141,6 +144,7 @@ func (cs CellStats) Result() *experiments.Result {
 		Metrics: map[string]float64{
 			keyPolicy:    float64(cs.Policy),
 			keyRate:      cs.Rate,
+			keyCores:     float64(cs.Cores),
 			keyRequests:  float64(cs.Requests),
 			keyCompleted: float64(cs.Completed),
 			keyDropped:   float64(cs.Dropped),
@@ -192,6 +196,11 @@ func CellStatsFromResult(res *experiments.Result) (CellStats, error) {
 	if cs.Rate, err = get(keyRate); err != nil {
 		return CellStats{}, err
 	}
+	var cores float64
+	if cores, err = get(keyCores); err != nil {
+		return CellStats{}, err
+	}
+	cs.Cores = int(cores)
 	read(&cs.Requests, keyRequests)
 	read(&cs.Completed, keyCompleted)
 	read(&cs.Dropped, keyDropped)

@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/workloads"
 )
 
@@ -126,8 +128,18 @@ type Config struct {
 	Batch int
 	// Policies is the serving-discipline sweep.
 	Policies []Policy
-	// MaxSteps bounds retired instructions per cell (runaway guard).
+	// MaxSteps bounds retired instructions per cell (runaway guard,
+	// summed across cores for multi-core cells).
 	MaxSteps uint64
+	// Topology spreads each cell over a many-core machine: one shared
+	// open-loop arrival stream is load-balanced across Cores per-core
+	// policy engines contending for the shared LLC under the
+	// cycle-quantum kernel. Cores ≤ 1 (the default) serves on the
+	// classic single-core engine. The Machine and PerCoreMem fields are
+	// ignored — RunCell's machine argument is the authoritative per-core
+	// template (normalization zeroes them so a cache key never depends
+	// on a field the simulation does not read).
+	Topology machine.Topology
 }
 
 // DefaultConfig returns a moderate sweep: memory-bound point lookups
@@ -176,6 +188,27 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 1 << 40
 	}
+	if cfg.Topology.Cores == 0 {
+		cfg.Topology.Cores = 1
+	}
+	// The per-core template comes from RunCell's machine argument, never
+	// from the topology: zeroing the unread fields keeps the normalized
+	// config (the cache-key contract) independent of them.
+	cfg.Topology.Machine = core.Machine{}
+	cfg.Topology.PerCoreMem = nil
+	if cfg.Topology.Cores > 1 {
+		if cfg.Topology.LLC == (mem.LLCConfig{}) {
+			cfg.Topology.LLC = mem.DefaultLLCConfig(cfg.Topology.Cores)
+		}
+		if cfg.Topology.Quantum == 0 {
+			cfg.Topology.Quantum = machine.DefaultQuantum
+		}
+	} else {
+		// Single-core cells never slice quanta or touch a shared LLC, so
+		// the canonical form of every ≤1-core topology is the same.
+		cfg.Topology.LLC = mem.LLCConfig{}
+		cfg.Topology.Quantum = 0
+	}
 	return cfg
 }
 
@@ -221,6 +254,17 @@ func (cfg Config) Validate() error {
 	for _, p := range cfg.Policies {
 		if p > SMT {
 			return fmt.Errorf("service: unknown policy %d", uint8(p))
+		}
+	}
+	if cfg.Topology.Cores < 1 {
+		return fmt.Errorf("service: core count %d must be at least 1", cfg.Topology.Cores)
+	}
+	if cfg.Topology.Cores > 1 {
+		if err := cfg.Topology.LLC.Validate(); err != nil {
+			return err
+		}
+		if cfg.Topology.Quantum == 0 {
+			return fmt.Errorf("service: multi-core cells need a positive cycle quantum")
 		}
 	}
 	return nil

@@ -62,6 +62,21 @@ if ! serve=$(go test -run '^$' -bench 'BenchmarkServiceThroughput$' -benchtime "
 fi
 echo "$serve"
 
+echo
+echo "== multi-core serving (benchtime=$benchtime) =="
+# One open-loop arrival stream load-balanced across 1/2/4/8 per-core
+# policy engines by the quantum dispatcher. The req/s figure is
+# wall-clock: it only scales with simulated cores on a host with that
+# much parallelism (nproc above records the context; a 1-CPU host runs
+# the extra simulated cores serially, so req/s drops as cores rise).
+# Informational for the rate; the run is a hard conservation check.
+if ! multicore=$(go test -run '^$' -bench 'BenchmarkServeMulticore' -benchtime "$benchtime" .); then
+    echo "$multicore"
+    echo "FAIL: BenchmarkServeMulticore failed (requests lost?)" >&2
+    exit 1
+fi
+echo "$multicore"
+
 # Hard check: the machine kernel's steady-state Step must not allocate
 # (the same 0-alloc line the single-core step path is held to).
 if ! go test -run 'TestMachineSteadyStateAllocs' -count=1 ./internal/machine/ >/dev/null; then
@@ -69,6 +84,14 @@ if ! go test -run 'TestMachineSteadyStateAllocs' -count=1 ./internal/machine/ >/
     exit 1
 fi
 echo "OK: machine steady-state Step is allocation-free (TestMachineSteadyStateAllocs)"
+
+# Hard check: a steady-state dispatch round (admit → balance → quantum
+# barrier) of the multi-core serving dispatcher must not allocate.
+if ! go test -run 'TestDispatcherSteadyStateAllocs' -count=1 ./internal/service/ >/dev/null; then
+    echo "FAIL: service dispatcher allocates per quantum (TestDispatcherSteadyStateAllocs)" >&2
+    exit 1
+fi
+echo "OK: multi-core dispatch round is allocation-free (TestDispatcherSteadyStateAllocs)"
 
 echo
 echo "== recorded trajectory ($trajectory) =="

@@ -85,6 +85,9 @@ type serviceCellKey struct {
 	ShedAfter      uint64
 	Batch          int
 	MaxSteps       uint64
+	Cores          int
+	LLC            LLCConfig
+	Quantum        uint64
 	RequestType    string
 	Request        WorkloadSpec
 	BackgroundType string       `json:",omitempty"`
@@ -101,6 +104,9 @@ func serviceKey(cfg ServiceConfig, cl ServiceCell) serviceCellKey {
 		ShedAfter:   cfg.ShedAfter,
 		Batch:       cfg.Batch,
 		MaxSteps:    cfg.MaxSteps,
+		Cores:       cfg.Topology.Cores,
+		LLC:         cfg.Topology.LLC,
+		Quantum:     cfg.Topology.Quantum,
 		RequestType: fmt.Sprintf("%T", cfg.Workload.Request),
 		Request:     cfg.Workload.Request,
 	}
@@ -111,14 +117,20 @@ func serviceKey(cfg ServiceConfig, cl ServiceCell) serviceCellKey {
 	return k
 }
 
-// Serve runs the open-loop service sweep on the session's per-core
-// machine: every (policy, offered rate) cell of cfg's grid is one
-// runner job — fanned out over the session's worker pool, served from
-// the result cache when enabled — and the report assembles in grid
-// order regardless of parallelism. Each cell is a pure function of
+// Serve runs the open-loop service sweep on the session's machine:
+// every (policy, offered rate) cell of cfg's grid is one runner job —
+// fanned out over the session's worker pool, served from the result
+// cache when enabled — and the report assembles in grid order
+// regardless of parallelism. A zero cfg.Topology inherits the
+// session's (WithTopology): on a multi-core session each cell
+// load-balances the one arrival stream across per-core policy engines
+// under the cycle-quantum kernel. Each cell is a pure function of
 // (machine, config, cell), so the rendered report is byte-identical
 // across GOMAXPROCS settings and repeated runs.
 func (s *Session) Serve(ctx context.Context, cfg ServiceConfig) (*ServiceReport, error) {
+	if cfg.Topology.Cores == 0 {
+		cfg.Topology = s.topo
+	}
 	norm, err := cfg.Normalized()
 	if err != nil {
 		return nil, err

@@ -131,7 +131,7 @@ func analyzerNames(all []*Analyzer) string {
 //   - Otherwise the last argument is the path to a vet.cfg JSON file
 //     describing one package unit. The tool type-checks the unit
 //     against the export data the go command already built (ImportMap
-//     + PackageFile), merges the dependencies' fact files
+//   - PackageFile), merges the dependencies' fact files
 //     (PackageVetx), runs the analyzers, writes this unit's facts to
 //     VetxOutput, prints findings as "file:line:col: message" on
 //     stderr (or JSON on stdout with -json) and exits 2 if there were

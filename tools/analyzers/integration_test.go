@@ -196,8 +196,8 @@ func TestVettoolVendoredModule(t *testing.T) {
 	shlint := buildShlint(t)
 	dir := t.TempDir()
 	files := map[string]string{
-		"go.mod": "module vendfixture\n\ngo 1.22\n\nrequire example.com/dep v0.0.0\n",
-		"vendor/modules.txt": "# example.com/dep v0.0.0\n## explicit; go 1.22\nexample.com/dep\n",
+		"go.mod":                        "module vendfixture\n\ngo 1.22\n\nrequire example.com/dep v0.0.0\n",
+		"vendor/modules.txt":            "# example.com/dep v0.0.0\n## explicit; go 1.22\nexample.com/dep\n",
 		"vendor/example.com/dep/go.mod": "module example.com/dep\n\ngo 1.22\n",
 		"vendor/example.com/dep/dep.go": `package dep
 
